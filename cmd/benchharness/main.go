@@ -1,0 +1,34 @@
+// Command benchharness regenerates every table of the reproduction (E1–E18,
+// mapped to the paper's figures and claims in DESIGN.md). Run with no
+// arguments for everything, or pass experiment ids:
+//
+//	go run ./cmd/benchharness            # all experiments
+//	go run ./cmd/benchharness E2 E10     # a subset
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	start := time.Now()
+	if len(os.Args) > 1 {
+		for _, id := range os.Args[1:] {
+			t, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E18)\n", id)
+				os.Exit(1)
+			}
+			fmt.Println(t.Format())
+		}
+		return
+	}
+	for _, t := range experiments.All() {
+		fmt.Println(t.Format())
+	}
+	fmt.Printf("all experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,182 @@
+// Command qopt is an interactive SQL shell over the embedded engine. It
+// reads one statement per line (or runs a single -e statement), supports
+// EXPLAIN, and can preload demo datasets:
+//
+//	go run ./cmd/qopt -demo empdept
+//	go run ./cmd/qopt -demo star -optimizer cascades -e "EXPLAIN SELECT ..."
+//	echo "SELECT 1" | go run ./cmd/qopt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	queryopt "repro"
+)
+
+func main() {
+	optimizer := flag.String("optimizer", "systemr", "optimizer: systemr | starburst | cascades | reference")
+	demo := flag.String("demo", "", "preload a demo dataset: empdept | star")
+	stmt := flag.String("e", "", "execute one statement and exit")
+	useMV := flag.Bool("matviews", true, "answer queries using materialized views")
+	flag.Parse()
+
+	opts := queryopt.Options{UseMaterializedViews: *useMV}
+	switch strings.ToLower(*optimizer) {
+	case "systemr", "system-r":
+		opts.Optimizer = queryopt.SystemR
+	case "starburst":
+		opts.Optimizer = queryopt.Starburst
+	case "cascades", "volcano":
+		opts.Optimizer = queryopt.Cascades
+	case "reference", "naive":
+		opts.Optimizer = queryopt.Reference
+	default:
+		fmt.Fprintf(os.Stderr, "unknown optimizer %q\n", *optimizer)
+		os.Exit(1)
+	}
+	eng := queryopt.New(opts)
+	switch strings.ToLower(*demo) {
+	case "":
+	case "empdept":
+		loadEmpDept(eng)
+		fmt.Println("loaded demo: emp (10000 rows), dept (100 rows); try:")
+		fmt.Println("  SELECT d.loc, COUNT(*) FROM emp e, dept d WHERE e.did = d.did GROUP BY d.loc;")
+	case "star":
+		loadStar(eng)
+		fmt.Println("loaded demo: sales (50000 rows), dim_product (200), dim_store (50); try:")
+		fmt.Println("  EXPLAIN SELECT s.city, SUM(f.amount) FROM sales f, dim_store s WHERE f.k2 = s.k GROUP BY s.city;")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown demo %q\n", *demo)
+		os.Exit(1)
+	}
+
+	if *stmt != "" {
+		if !runStmt(eng, *stmt) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminalish()
+	if interactive {
+		fmt.Print("qopt> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && line != "exit" && line != "quit" {
+			runStmt(eng, line)
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if interactive {
+			fmt.Print("qopt> ")
+		}
+	}
+}
+
+func isTerminalish() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func runStmt(eng *queryopt.Engine, stmt string) bool {
+	start := time.Now()
+	res, err := eng.Exec(stmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return false
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+	}
+	const maxRows = 50
+	for i, r := range res.Rows {
+		if i == maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(r))
+		for j, v := range r {
+			if v == nil {
+				cells[j] = "NULL"
+			} else {
+				cells[j] = fmt.Sprint(v)
+			}
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if len(res.Rows) > 0 || len(res.Columns) > 0 {
+		fmt.Printf("(%d rows, %s", len(res.Rows), time.Since(start).Round(time.Microsecond))
+		if res.Stats.PagesRead > 0 {
+			fmt.Printf(", %d simulated pages", res.Stats.PagesRead)
+		}
+		if res.UsedMaterializedView != "" {
+			fmt.Printf(", via matview %s", res.UsedMaterializedView)
+		}
+		fmt.Println(")")
+	} else {
+		fmt.Println("ok")
+	}
+	return true
+}
+
+func loadEmpDept(eng *queryopt.Engine) {
+	eng.MustExec(`CREATE TABLE emp (eid INT NOT NULL, name VARCHAR, did INT, sal FLOAT, age INT, PRIMARY KEY (eid))`)
+	eng.MustExec(`CREATE TABLE dept (did INT NOT NULL, dname VARCHAR, loc VARCHAR, budget FLOAT, PRIMARY KEY (did))`)
+	eng.MustExec(`CREATE INDEX emp_did ON emp (did)`)
+	rng := rand.New(rand.NewSource(1))
+	locs := []string{"Denver", "Austin", "Boston", "Seattle"}
+	var emp [][]any
+	for i := 0; i < 10000; i++ {
+		emp = append(emp, []any{i, fmt.Sprintf("emp%05d", i), rng.Intn(100),
+			2000.0 + float64(rng.Intn(150000))/10, 20 + rng.Intn(45)})
+	}
+	must(eng.LoadRows("emp", emp))
+	var dept [][]any
+	for dID := 0; dID < 100; dID++ {
+		dept = append(dept, []any{dID, fmt.Sprintf("dept%03d", dID), locs[dID%len(locs)], float64(50 + rng.Intn(950))})
+	}
+	must(eng.LoadRows("dept", dept))
+	eng.MustExec("ANALYZE")
+}
+
+func loadStar(eng *queryopt.Engine) {
+	eng.MustExec(`CREATE TABLE sales (k1 INT, k2 INT, qty INT, amount FLOAT)`)
+	eng.MustExec(`CREATE TABLE dim_product (k INT NOT NULL, pname VARCHAR, category INT, PRIMARY KEY (k))`)
+	eng.MustExec(`CREATE TABLE dim_store (k INT NOT NULL, city VARCHAR, region INT, PRIMARY KEY (k))`)
+	eng.MustExec(`CREATE INDEX sales_k1 ON sales (k1)`)
+	eng.MustExec(`CREATE INDEX sales_k2 ON sales (k2)`)
+	rng := rand.New(rand.NewSource(2))
+	var fact [][]any
+	for i := 0; i < 50000; i++ {
+		fact = append(fact, []any{rng.Intn(200), rng.Intn(50), 1 + rng.Intn(10), float64(rng.Intn(100000)) / 100})
+	}
+	must(eng.LoadRows("sales", fact))
+	var products [][]any
+	for k := 0; k < 200; k++ {
+		products = append(products, []any{k, fmt.Sprintf("product%03d", k), k % 12})
+	}
+	must(eng.LoadRows("dim_product", products))
+	cities := []string{"Denver", "Austin", "Boston", "Seattle"}
+	var stores [][]any
+	for k := 0; k < 50; k++ {
+		stores = append(stores, []any{k, cities[k%len(cities)], k % 4})
+	}
+	must(eng.LoadRows("dim_store", stores))
+	eng.MustExec("ANALYZE")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

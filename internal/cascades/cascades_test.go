@@ -1,0 +1,239 @@
+package cascades
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/sql"
+	"repro/internal/stats"
+	"repro/internal/systemr"
+	"repro/internal/workload"
+)
+
+func buildQuery(t *testing.T, db *workload.DB, q string) *logical.Query {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	query, err := logical.NewBuilder(db.Cat).Build(sel)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	logical.NormalizeQuery(query, logical.DefaultNormalize())
+	logical.PruneColumns(query)
+	return query
+}
+
+func rowStrings(res *exec.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		var sb strings.Builder
+		for j, d := range r {
+			if j > 0 {
+				sb.WriteString("|")
+			}
+			if !d.IsNull() && d.Kind() == datum.KindFloat {
+				fmt.Fprintf(&sb, "%.6g", d.Float())
+			} else {
+				sb.WriteString(d.String())
+			}
+		}
+		out[i] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func verifyPlan(t *testing.T, db *workload.DB, q *logical.Query, plan physical.Plan) {
+	t.Helper()
+	ctx := exec.NewCtx(db.Store, q.Meta)
+	got, err := exec.RunPlanQuery(plan, q, ctx)
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, physical.Format(plan, q.Meta))
+	}
+	ref := exec.NewCtx(db.Store, q.Meta)
+	want, err := ref.RunQuery(q)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	g, w := rowStrings(got), rowStrings(want)
+	if strings.Join(g, ";") != strings.Join(w, ";") {
+		t.Fatalf("results disagree\nplan: %.300v\nref:  %.300v\n%s", g, w, physical.Format(plan, q.Meta))
+	}
+}
+
+func TestCascadesBasicQueries(t *testing.T) {
+	db := workload.EmpDept(workload.EmpDeptConfig{Emps: 2000, Depts: 40})
+	db.Analyze(stats.AnalyzeOptions{})
+	queries := []string{
+		"SELECT name FROM Emp WHERE eid = 7",
+		"SELECT name FROM Emp WHERE sal > 10000 ORDER BY sal DESC LIMIT 5",
+		"SELECT e.name, d.dname FROM Emp e, Dept d WHERE e.did = d.did AND d.loc = 'Denver'",
+		"SELECT d.loc, COUNT(*) FROM Emp e, Dept d WHERE e.did = d.did GROUP BY d.loc",
+		"SELECT DISTINCT loc FROM Dept",
+		"SELECT e1.name FROM Emp e1, Emp e2 WHERE e1.did = e2.did AND e2.eid = 3",
+		"SELECT COUNT(*) FROM Emp",
+	}
+	for _, qs := range queries {
+		q := buildQuery(t, db, qs)
+		o := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), DefaultOptions())
+		plan, err := o.Optimize(q)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		verifyPlan(t, db, q, plan)
+	}
+}
+
+func TestCascadesExploresJoinOrders(t *testing.T) {
+	db := workload.Chain(workload.ChainConfig{Tables: 4, RowsPer: []int{2000, 100, 1000, 50}, Seed: 3})
+	db.Analyze(stats.AnalyzeOptions{})
+	q := buildQuery(t, db, workload.ChainQuery(4))
+	o := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), DefaultOptions())
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics.RulesFired == 0 {
+		t.Error("exploration should fire transformation rules")
+	}
+	if o.memo.DedupHits == 0 {
+		t.Error("memoization should deduplicate re-derived expressions")
+	}
+	verifyPlan(t, db, q, plan)
+}
+
+func TestCascadesMatchesSystemRPlanQuality(t *testing.T) {
+	db := workload.Chain(workload.ChainConfig{Tables: 5, RowsPer: []int{3000, 400, 1500, 100, 600}, Seed: 5})
+	db.Analyze(stats.AnalyzeOptions{})
+	q := buildQuery(t, db, workload.ChainQuery(5))
+
+	casc := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), DefaultOptions())
+	cPlan, err := casc.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bushy System-R search covers Cascades' space (commute+assoc generate
+	// bushy shapes too).
+	sys := systemr.New(stats.NewEstimator(q.Meta), cost.DefaultModel(),
+		systemr.Options{Bushy: true, InterestingOrders: true, MaxRelations: 16})
+	sPlan, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cc := cPlan.Estimate()
+	_, sc := sPlan.Estimate()
+	ratio := cc / sc
+	if ratio > 1.5 || ratio < 1/1.5 {
+		t.Errorf("plan quality diverges: cascades %v vs systemr %v\ncascades:\n%s\nsystemr:\n%s",
+			cc, sc, physical.Format(cPlan, q.Meta), physical.Format(sPlan, q.Meta))
+	}
+	verifyPlan(t, db, q, cPlan)
+}
+
+func TestCascadesPruningReducesWork(t *testing.T) {
+	db := workload.Chain(workload.ChainConfig{Tables: 5, RowsPer: []int{1000, 1000, 1000, 1000, 1000}, Seed: 7})
+	db.Analyze(stats.AnalyzeOptions{})
+	q := buildQuery(t, db, workload.ChainQuery(5))
+
+	pruned := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), Options{Pruning: true, MaxExprs: 200000})
+	if _, err := pruned.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	full := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), Options{Pruning: false, MaxExprs: 200000})
+	if _, err := full.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Metrics.PlansCosted > full.Metrics.PlansCosted {
+		t.Errorf("pruning should not increase plans costed: %d vs %d",
+			pruned.Metrics.PlansCosted, full.Metrics.PlansCosted)
+	}
+}
+
+func TestCascadesMemoBudget(t *testing.T) {
+	db := workload.Chain(workload.ChainConfig{Tables: 6, RowsPer: []int{100, 100, 100, 100, 100, 100}, Seed: 9})
+	db.Analyze(stats.AnalyzeOptions{})
+	q := buildQuery(t, db, workload.ChainQuery(6))
+	o := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), Options{Pruning: true, MaxExprs: 40})
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget-capped exploration must still produce a correct plan.
+	verifyPlan(t, db, q, plan)
+	if o.memo.NumExprs() > 200 {
+		t.Errorf("memo budget ignored: %d exprs", o.memo.NumExprs())
+	}
+}
+
+func TestCascadesOuterAndAggregates(t *testing.T) {
+	db := workload.EmpDept(workload.EmpDeptConfig{Emps: 1500, Depts: 30})
+	db.Analyze(stats.AnalyzeOptions{})
+	for _, qs := range []string{
+		"SELECT d.dname, COUNT(*) FROM Dept d LEFT OUTER JOIN Emp e ON d.did = e.did GROUP BY d.dname",
+		"SELECT did, AVG(sal) FROM Emp GROUP BY did ORDER BY did",
+	} {
+		q := buildQuery(t, db, qs)
+		o := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), DefaultOptions())
+		plan, err := o.Optimize(q)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		verifyPlan(t, db, q, plan)
+	}
+}
+
+func TestMemoDedup(t *testing.T) {
+	db := workload.EmpDept(workload.EmpDeptConfig{Emps: 100, Depts: 10})
+	db.Analyze(stats.AnalyzeOptions{})
+	q := buildQuery(t, db, "SELECT e.name FROM Emp e, Dept d WHERE e.did = d.did")
+	m := NewMemo()
+	g1, err := m.Build(q.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.NumGroups()
+	g2, err := m.Build(q.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 || m.NumGroups() != n {
+		t.Error("identical trees must intern to the same groups")
+	}
+	if m.DedupHits == 0 {
+		t.Error("dedup hits should be counted")
+	}
+}
+
+func TestCascadesStreamGroupByOnIndex(t *testing.T) {
+	db := workload.EmpDept(workload.EmpDeptConfig{Emps: 5000, Depts: 50})
+	db.Analyze(stats.AnalyzeOptions{})
+	q := buildQuery(t, db, "SELECT eid, COUNT(*) FROM Emp GROUP BY eid")
+	o := New(stats.NewEstimator(q.Meta), cost.DefaultModel(), DefaultOptions())
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	var walk func(p physical.Plan)
+	walk = func(p physical.Plan) {
+		if _, ok := p.(*physical.StreamGroupBy); ok {
+			found = true
+		}
+		for _, c := range physical.Children(p) {
+			walk(c)
+		}
+	}
+	walk(plan)
+	if !found {
+		t.Errorf("grouping on the clustered key should stream:\n%s", physical.Format(plan, q.Meta))
+	}
+}

@@ -1,0 +1,589 @@
+package cascades
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/datum"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/stats"
+)
+
+// Options tunes the Cascades search.
+type Options struct {
+	// CartesianProducts admits cross joins during exploration.
+	CartesianProducts bool
+	// MaxExprs caps memo growth (a search budget "knob", §6).
+	MaxExprs int
+	// Pruning enables cost-bound (branch and bound) pruning guided by the
+	// promise of already-found plans.
+	Pruning bool
+}
+
+// DefaultOptions enables pruning with a generous memo budget.
+func DefaultOptions() Options {
+	return Options{MaxExprs: 200000, Pruning: true}
+}
+
+// Metrics counts the work done (E14 compares these with System-R's).
+type Metrics struct {
+	RulesFired  int // transformation rule applications producing new exprs
+	TasksRun    int // optimizeGroup invocations (tasks)
+	PlansCosted int // physical alternatives costed
+	WinnerHits  int // memoized (group, property) lookups served from cache
+}
+
+// winner is the memoized best plan of a group for one required property.
+type winner struct {
+	plan physical.Plan
+	cost float64
+}
+
+// Optimizer is a Volcano/Cascades-style optimizer instance.
+type Optimizer struct {
+	memo    *Memo
+	Est     *stats.Estimator
+	Model   cost.Model
+	Opts    Options
+	Metrics Metrics
+}
+
+// New returns an optimizer sharing the estimator and cost model types used
+// by the System-R implementation.
+func New(est *stats.Estimator, model cost.Model, opts Options) *Optimizer {
+	if opts.MaxExprs <= 0 {
+		opts.MaxExprs = 200000
+	}
+	return &Optimizer{memo: NewMemo(), Est: est, Model: model, Opts: opts}
+}
+
+// Memo exposes the memo for inspection (metrics, tests).
+func (o *Optimizer) Memo() *Memo { return o.memo }
+
+// Optimize builds the memo from the query, explores it on demand, and
+// returns the best physical plan satisfying the query's ORDER BY.
+func (o *Optimizer) Optimize(q *logical.Query) (physical.Plan, error) {
+	root := q.Root
+	var limitN int64 = -1
+	if lim, ok := root.(*logical.Limit); ok && len(q.OrderBy) > 0 {
+		root = lim.Input
+		limitN = lim.N
+	}
+	g, err := o.memo.Build(root)
+	if err != nil {
+		return nil, err
+	}
+	w, err := o.optGroup(g, q.OrderBy)
+	if err != nil {
+		return nil, err
+	}
+	plan := w.plan
+	if limitN >= 0 {
+		rows, c := plan.Estimate()
+		if float64(limitN) < rows {
+			rows = float64(limitN)
+		}
+		plan = &physical.LimitOp{
+			Props: physical.Props{Rows: rows, Cost: c + o.Model.Limit(rows)},
+			Input: plan, N: limitN,
+		}
+	}
+	return plan, nil
+}
+
+// optGroup returns the cheapest plan for the group under the required
+// ordering, memoized per (group, ordering) — the "table of plans that have
+// been optimized in the past" of §6.2.
+func (o *Optimizer) optGroup(g *Group, required logical.Ordering) (*winner, error) {
+	key := required.Key()
+	if w, ok := g.winners[key]; ok {
+		o.Metrics.WinnerHits++
+		return w, nil
+	}
+	o.Metrics.TasksRun++
+	o.exploreGroup(g)
+
+	rows := o.Est.Stats(o.memo.Repr(g)).Rows
+	best := &winner{cost: math.Inf(1)}
+	consider := func(p physical.Plan) {
+		if p == nil {
+			return
+		}
+		o.Metrics.PlansCosted++
+		p = o.enforce(p, required)
+		if _, c := p.Estimate(); c < best.cost {
+			best.plan = p
+			best.cost = c
+		}
+	}
+
+	for _, e := range g.Exprs {
+		if err := o.implement(g, e, rows, required, best, consider); err != nil {
+			return nil, err
+		}
+	}
+	if best.plan == nil {
+		return nil, fmt.Errorf("cascades: no plan for group %d", int(g.ID))
+	}
+	g.winners[key] = best
+	return best, nil
+}
+
+// enforce adds a Sort when the plan does not provide the required ordering.
+func (o *Optimizer) enforce(p physical.Plan, required logical.Ordering) physical.Plan {
+	if len(required) == 0 || required.SatisfiedBy(p.Ordering()) {
+		return p
+	}
+	rows, c := p.Estimate()
+	return &physical.Sort{
+		Props: physical.Props{Rows: rows, Cost: c + o.Model.Sort(rows)},
+		Input: p, By: required,
+	}
+}
+
+// implement generates the physical alternatives for one memo expression.
+func (o *Optimizer) implement(g *Group, e *MExpr, rows float64, required logical.Ordering, best *winner, consider func(physical.Plan)) error {
+	switch e.Kind {
+	case opScan:
+		for _, p := range o.scanPaths(e.Scan, nil, rows) {
+			consider(p)
+		}
+	case opValues:
+		n := float64(len(e.Values.Rows))
+		consider(&physical.ValuesOp{
+			Props: physical.Props{Rows: n, Cost: o.Model.Values(n)},
+			Cols:  e.Values.Cols, Rows: e.Values.Rows,
+		})
+	case opSelect:
+		child := o.memo.Group(e.Children[0])
+		// Fused access paths when the child is a base table.
+		for _, ce := range child.Exprs {
+			if ce.Kind == opScan {
+				for _, p := range o.scanPaths(ce.Scan, e.Filters, rows) {
+					consider(p)
+				}
+			}
+		}
+		// Generic filter over the child's best plan (ordering preserved, so
+		// the requirement pushes down).
+		w, err := o.optGroup(child, required)
+		if err != nil {
+			return err
+		}
+		cr, cc := w.plan.Estimate()
+		consider(&physical.Filter{
+			Props: physical.Props{Rows: rows, Cost: cc + o.Model.Filter(cr, len(e.Filters))},
+			Input: w.plan, Preds: e.Filters,
+		})
+	case opProject:
+		child := o.memo.Group(e.Children[0])
+		// Push the requirement down when every required column passes
+		// through unchanged.
+		childReq := required
+		passthrough := map[logical.ColumnID]bool{}
+		for _, it := range e.Items {
+			if c, ok := it.Expr.(*logical.Col); ok && c.ID == it.ID {
+				passthrough[it.ID] = true
+			}
+		}
+		for _, s := range required {
+			if !passthrough[s.Col] {
+				childReq = nil
+				break
+			}
+		}
+		w, err := o.optGroup(child, childReq)
+		if err != nil {
+			return err
+		}
+		cr, cc := w.plan.Estimate()
+		consider(&physical.Project{
+			Props: physical.Props{Rows: cr, Cost: cc + o.Model.Project(cr, len(e.Items))},
+			Input: w.plan, Items: e.Items,
+		})
+	case opJoin:
+		return o.implementJoin(e, rows, best, consider)
+	case opGroupBy:
+		return o.implementGroupBy(e, rows, consider)
+	case opLimit:
+		child := o.memo.Group(e.Children[0])
+		w, err := o.optGroup(child, required)
+		if err != nil {
+			return err
+		}
+		cr, cc := w.plan.Estimate()
+		out := math.Min(cr, float64(e.N))
+		consider(&physical.LimitOp{
+			Props: physical.Props{Rows: out, Cost: cc + o.Model.Limit(out)},
+			Input: w.plan, N: e.N,
+		})
+	case opUnion:
+		lw, err := o.optGroup(o.memo.Group(e.Children[0]), nil)
+		if err != nil {
+			return err
+		}
+		rw, err := o.optGroup(o.memo.Group(e.Children[1]), nil)
+		if err != nil {
+			return err
+		}
+		lr, lc := lw.plan.Estimate()
+		rr, rc := rw.plan.Estimate()
+		total := lr + rr
+		consider(&physical.UnionAll{
+			Props: physical.Props{Rows: total, Cost: lc + rc + total*o.Model.CPUTuple},
+			Left:  lw.plan, Right: rw.plan,
+			LeftCols: e.UnionLeft, RightCols: e.UnionRight, Cols: e.UnionCols,
+		})
+	}
+	return nil
+}
+
+// scanPaths mirrors access-path selection for a (possibly filtered) scan.
+func (o *Optimizer) scanPaths(scan *logical.Scan, filters []logical.Scalar, outRows float64) []physical.Plan {
+	var tableRows, tablePages float64 = 1, 1
+	if scan.Table.Stats != nil {
+		tableRows = scan.Table.Stats.RowCount
+		tablePages = math.Max(1, scan.Table.Stats.PageCount)
+	}
+	ords := make([]int, len(scan.Cols))
+	for i, id := range scan.Cols {
+		ords[i] = o.Est.Meta.Column(id).BaseOrd
+	}
+	var out []physical.Plan
+	out = append(out, &physical.TableScan{
+		Props: physical.Props{Rows: outRows, Cost: o.Model.SeqScan(tablePages, tableRows, len(filters))},
+		Table: scan.Table, Binding: scan.Binding, Cols: scan.Cols, ColOrds: ords, Filter: filters,
+	})
+	scanStats := o.Est.Stats(scan)
+	for _, ix := range scan.Table.Indexes {
+		var eqKey datum.Row
+		matched := map[logical.Scalar]bool{}
+		sel := 1.0
+		for _, ord := range ix.Cols {
+			col, ok := colForOrd(o, scan, ord)
+			if !ok {
+				break
+			}
+			found := false
+			for _, f := range filters {
+				if matched[f] {
+					continue
+				}
+				if v, ok := constEqScalar(f, col); ok {
+					eqKey = append(eqKey, v)
+					matched[f] = true
+					sel *= o.Est.Selectivity(f, scanStats)
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		matchRows := tableRows * sel
+		var residual []logical.Scalar
+		for _, f := range filters {
+			if !matched[f] {
+				residual = append(residual, f)
+			}
+		}
+		if len(eqKey) == 0 && len(residual) == len(filters) && len(filters) > 0 {
+			continue // unqualified index scan under filters rarely helps
+		}
+		out = append(out, &physical.IndexScan{
+			Props: physical.Props{
+				Rows: outRows,
+				Cost: o.Model.IndexScan(matchRows, tableRows, tablePages, ix.Clustered) + o.Model.Filter(matchRows, len(residual)),
+			},
+			Table: scan.Table, Index: ix, Binding: scan.Binding,
+			Cols: scan.Cols, ColOrds: ords, EqKey: eqKey, Filter: residual,
+		})
+	}
+	return out
+}
+
+func colForOrd(o *Optimizer, scan *logical.Scan, ord int) (logical.ColumnID, bool) {
+	for _, id := range scan.Cols {
+		if o.Est.Meta.Column(id).BaseOrd == ord {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func constEqScalar(p logical.Scalar, col logical.ColumnID) (datum.D, bool) {
+	cmp, ok := p.(*logical.Cmp)
+	if !ok || cmp.Op != logical.CmpEq {
+		return datum.Null, false
+	}
+	if c, ok := cmp.L.(*logical.Col); ok && c.ID == col {
+		if k, ok := cmp.R.(*logical.Const); ok {
+			return k.Val, true
+		}
+	}
+	if c, ok := cmp.R.(*logical.Col); ok && c.ID == col {
+		if k, ok := cmp.L.(*logical.Const); ok {
+			return k.Val, true
+		}
+	}
+	return datum.Null, false
+}
+
+// implementJoin generates NL, hash and merge alternatives, ordering them by
+// promise (a quick lower-bound estimate) so bound pruning can skip the rest.
+func (o *Optimizer) implementJoin(e *MExpr, rows float64, best *winner, consider func(physical.Plan)) error {
+	left := o.memo.Group(e.Children[0])
+	right := o.memo.Group(e.Children[1])
+	lStats := o.Est.Stats(o.memo.Repr(left))
+	rStats := o.Est.Stats(o.memo.Repr(right))
+
+	// Classify equi keys.
+	var lKeys, rKeys []logical.ColumnID
+	var extras []logical.Scalar
+	for _, p := range e.On {
+		if cmp, ok := p.(*logical.Cmp); ok && cmp.Op == logical.CmpEq {
+			l, lok := cmp.L.(*logical.Col)
+			r, rok := cmp.R.(*logical.Col)
+			if lok && rok {
+				switch {
+				case left.Cols.Contains(l.ID) && right.Cols.Contains(r.ID):
+					lKeys = append(lKeys, l.ID)
+					rKeys = append(rKeys, r.ID)
+					continue
+				case left.Cols.Contains(r.ID) && right.Cols.Contains(l.ID):
+					lKeys = append(lKeys, r.ID)
+					rKeys = append(rKeys, l.ID)
+					continue
+				}
+			}
+		}
+		extras = append(extras, p)
+	}
+
+	type alt struct {
+		promise float64
+		build   func() (physical.Plan, error)
+	}
+	var alts []alt
+	if len(lKeys) > 0 {
+		alts = append(alts, alt{
+			promise: o.Model.HashJoin(lStats.Rows, rStats.Rows),
+			build: func() (physical.Plan, error) {
+				lw, err := o.optGroup(left, nil)
+				if err != nil {
+					return nil, err
+				}
+				rw, err := o.optGroup(right, nil)
+				if err != nil {
+					return nil, err
+				}
+				return &physical.HashJoin{
+					Props: physical.Props{Rows: rows, Cost: lw.cost + rw.cost + o.Model.HashJoin(lStats.Rows, rStats.Rows)},
+					Kind:  e.JoinKind, Left: lw.plan, Right: rw.plan,
+					LeftKeys: lKeys, RightKeys: rKeys, ExtraOn: extras,
+				}, nil
+			},
+		})
+		if e.JoinKind != logical.FullOuterJoin {
+			alts = append(alts, alt{
+				promise: o.Model.MergeJoin(lStats.Rows, rStats.Rows),
+				build: func() (physical.Plan, error) {
+					var lOrd, rOrd logical.Ordering
+					for i := range lKeys {
+						lOrd = append(lOrd, logical.OrderSpec{Col: lKeys[i]})
+						rOrd = append(rOrd, logical.OrderSpec{Col: rKeys[i]})
+					}
+					lw, err := o.optGroup(left, lOrd)
+					if err != nil {
+						return nil, err
+					}
+					rw, err := o.optGroup(right, rOrd)
+					if err != nil {
+						return nil, err
+					}
+					return &physical.MergeJoin{
+						Props: physical.Props{Rows: rows, Cost: lw.cost + rw.cost + o.Model.MergeJoin(lStats.Rows, rStats.Rows)},
+						Kind:  e.JoinKind, Left: lw.plan, Right: rw.plan,
+						LeftKeys: lKeys, RightKeys: rKeys, ExtraOn: extras,
+					}, nil
+				},
+			})
+		}
+		// Index nested-loop: the right group must hold a base-table scan
+		// (optionally under a Select).
+		if scan, filters, ok := o.groupScan(right); ok &&
+			(e.JoinKind == logical.InnerJoin || e.JoinKind == logical.LeftOuterJoin ||
+				e.JoinKind == logical.SemiJoin || e.JoinKind == logical.AntiJoin) {
+			alts = append(alts, alt{
+				promise: 0,
+				build: func() (physical.Plan, error) {
+					lw, err := o.optGroup(left, nil)
+					if err != nil {
+						return nil, err
+					}
+					return o.inlPlan(e.JoinKind, lw, scan, filters, lKeys, rKeys, extras, rows), nil
+				},
+			})
+		}
+	}
+	alts = append(alts, alt{
+		promise: lStats.Rows * rStats.Rows * o.Model.CPUEval,
+		build: func() (physical.Plan, error) {
+			lw, err := o.optGroup(left, nil)
+			if err != nil {
+				return nil, err
+			}
+			rw, err := o.optGroup(right, nil)
+			if err != nil {
+				return nil, err
+			}
+			return &physical.NLJoin{
+				Props: physical.Props{Rows: rows, Cost: lw.cost + o.Model.NLJoin(lStats.Rows, rStats.Rows, rw.cost)},
+				Kind:  e.JoinKind, Left: lw.plan, Right: rw.plan, On: e.On,
+			}, nil
+		},
+	})
+
+	sort.Slice(alts, func(i, j int) bool { return alts[i].promise < alts[j].promise })
+	for _, a := range alts {
+		if o.Opts.Pruning && best.plan != nil && a.promise >= best.cost {
+			continue // the operator alone already exceeds the best full plan
+		}
+		p, err := a.build()
+		if err != nil {
+			return err
+		}
+		consider(p)
+	}
+	return nil
+}
+
+// groupScan finds a Scan (or Select over Scan) expression in the group.
+func (o *Optimizer) groupScan(g *Group) (*logical.Scan, []logical.Scalar, bool) {
+	for _, e := range g.Exprs {
+		if e.Kind == opScan {
+			return e.Scan, nil, true
+		}
+		if e.Kind == opSelect {
+			child := o.memo.Group(e.Children[0])
+			for _, ce := range child.Exprs {
+				if ce.Kind == opScan {
+					return ce.Scan, e.Filters, true
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// inlPlan builds an index nested-loop plan if an index matches, else nil.
+func (o *Optimizer) inlPlan(kind logical.JoinKind, lw *winner, scan *logical.Scan, filters []logical.Scalar,
+	lKeys, rKeys []logical.ColumnID, extras []logical.Scalar, rows float64) physical.Plan {
+	var tableRows, tablePages float64 = 1, 1
+	if scan.Table.Stats != nil {
+		tableRows = scan.Table.Stats.RowCount
+		tablePages = math.Max(1, scan.Table.Stats.PageCount)
+	}
+	rStats := o.Est.Stats(scan)
+	var bestPlan physical.Plan
+	bestCost := math.Inf(1)
+	for _, ix := range scan.Table.Indexes {
+		var outerKeys []logical.ColumnID
+		used := map[int]bool{}
+		for _, ord := range ix.Cols {
+			col, ok := colForOrd(o, scan, ord)
+			if !ok {
+				break
+			}
+			found := -1
+			for ki := range rKeys {
+				if !used[ki] && rKeys[ki] == col {
+					found = ki
+					break
+				}
+			}
+			if found < 0 {
+				break
+			}
+			used[found] = true
+			outerKeys = append(outerKeys, lKeys[found])
+		}
+		if len(outerKeys) == 0 {
+			continue
+		}
+		var residual []logical.Scalar
+		for ki := range rKeys {
+			if !used[ki] {
+				residual = append(residual, &logical.Cmp{Op: logical.CmpEq,
+					L: &logical.Col{ID: lKeys[ki]}, R: &logical.Col{ID: rKeys[ki]}})
+			}
+		}
+		residual = append(residual, extras...)
+		residual = append(residual, filters...)
+		dist := ix.DistinctKeys
+		if dist <= 0 {
+			if col, ok := colForOrd(o, scan, ix.Cols[0]); ok {
+				if cs, ok := rStats.Cols[col]; ok && cs != nil {
+					dist = cs.Distinct
+				}
+			}
+		}
+		if dist <= 0 {
+			dist = 1
+		}
+		lRows, _ := lw.plan.Estimate()
+		matchPerOuter := tableRows / dist
+		c := lw.cost + o.Model.INLJoin(lRows, matchPerOuter, tableRows, tablePages, ix.Clustered) +
+			o.Model.Filter(lRows*matchPerOuter, len(residual))
+		if c >= bestCost {
+			continue
+		}
+		bestCost = c
+		ords := make([]int, len(scan.Cols))
+		for i, id := range scan.Cols {
+			ords[i] = o.Est.Meta.Column(id).BaseOrd
+		}
+		bestPlan = &physical.INLJoin{
+			Props: physical.Props{Rows: rows, Cost: c},
+			Kind:  kind, Left: lw.plan,
+			Table: scan.Table, Index: ix, Binding: scan.Binding,
+			Cols: scan.Cols, ColOrds: ords,
+			LeftKeys: outerKeys, ExtraOn: residual,
+		}
+	}
+	return bestPlan
+}
+
+// implementGroupBy generates hash and stream aggregation.
+func (o *Optimizer) implementGroupBy(e *MExpr, rows float64, consider func(physical.Plan)) error {
+	child := o.memo.Group(e.Children[0])
+	w, err := o.optGroup(child, nil)
+	if err != nil {
+		return err
+	}
+	cr, _ := w.plan.Estimate()
+	consider(&physical.HashGroupBy{
+		Props: physical.Props{Rows: rows, Cost: w.cost + o.Model.HashGroupBy(cr, len(e.Aggs))},
+		Input: w.plan, GroupCols: e.GroupCols, Aggs: e.Aggs,
+	})
+	if len(e.GroupCols) > 0 {
+		var want logical.Ordering
+		for _, c := range e.GroupCols {
+			want = append(want, logical.OrderSpec{Col: c})
+		}
+		sw, err := o.optGroup(child, want)
+		if err != nil {
+			return err
+		}
+		scr, _ := sw.plan.Estimate()
+		consider(&physical.StreamGroupBy{
+			Props: physical.Props{Rows: rows, Cost: sw.cost + o.Model.StreamGroupBy(scr, len(e.Aggs))},
+			Input: sw.plan, GroupCols: e.GroupCols, Aggs: e.Aggs,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package exec implements query execution: a Volcano-style iterator engine
+// over physical plans (Figure 1 of the paper) and a naive recursive evaluator
+// over logical trees. The naive evaluator serves three roles: the reference
+// implementation for correctness tests, the tuple-iteration semantics used to
+// evaluate correlated subqueries that were not unnested (the baseline §4.2
+// improves on), and the executor for Values rows.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/logical"
+	"repro/internal/storage"
+)
+
+// Counters tallies simulated resource usage during execution, letting
+// experiments compare measured work against the cost model's predictions.
+type Counters struct {
+	PagesRead     int64 // simulated page touches
+	RowsProcessed int64 // rows flowing through operators
+	IndexSeeks    int64
+	SubqueryEvals int64 // naive (tuple-iteration) subquery executions
+	Comparisons   int64 // sort/merge comparisons
+	HashOps       int64 // hash table inserts + probes
+	ExchangedRows int64 // rows crossing exchange operators
+}
+
+// Ctx is the runtime context shared by all operators of one execution.
+type Ctx struct {
+	Store    *storage.Store
+	Meta     *logical.Metadata
+	Counters Counters
+	// Buffer simulates the buffer pool: page touches served from it do not
+	// count as PagesRead, mirroring the cost model's §5.2 buffer modeling.
+	Buffer *PageBuffer
+}
+
+// NewCtx returns a context over the given store and metadata, with a buffer
+// pool sized like cost.DefaultModel (256 pages).
+func NewCtx(store *storage.Store, md *logical.Metadata) *Ctx {
+	return &Ctx{Store: store, Meta: md, Buffer: NewPageBuffer(256)}
+}
+
+// PageBuffer is a FIFO page cache keyed by (table, page number).
+type PageBuffer struct {
+	cap   int
+	m     map[pageKey]struct{}
+	order []pageKey
+	next  int
+}
+
+type pageKey struct {
+	table string
+	page  int
+}
+
+// NewPageBuffer returns a buffer holding up to capacity pages (0 disables
+// caching: every touch is a read).
+func NewPageBuffer(capacity int) *PageBuffer {
+	return &PageBuffer{cap: capacity, m: make(map[pageKey]struct{})}
+}
+
+// Touch accesses a page, returning true on a buffer hit.
+func (b *PageBuffer) Touch(table string, page int) bool {
+	if b == nil || b.cap <= 0 {
+		return false
+	}
+	k := pageKey{table, page}
+	if _, ok := b.m[k]; ok {
+		return true
+	}
+	if len(b.order) < b.cap {
+		b.order = append(b.order, k)
+	} else {
+		delete(b.m, b.order[b.next])
+		b.order[b.next] = k
+		b.next = (b.next + 1) % b.cap
+	}
+	b.m[k] = struct{}{}
+	return false
+}
+
+// touchPage charges one page access through the buffer.
+func (c *Ctx) touchPage(table string, page int) {
+	if !c.Buffer.Touch(table, page) {
+		c.Counters.PagesRead++
+	}
+}
+
+// touchRow charges the page holding a row id.
+func (c *Ctx) touchRow(tab *storage.Table, rowID int) {
+	rpp := rowsPerPage(tab)
+	c.touchPage(tab.Def.Name, rowID/rpp)
+}
+
+func rowsPerPage(tab *storage.Table) int {
+	rc, pc := tab.RowCount(), tab.PageCount()
+	if rc == 0 || pc == 0 {
+		return 1
+	}
+	rpp := (rc + pc - 1) / pc
+	if rpp < 1 {
+		rpp = 1
+	}
+	return rpp
+}
+
+// touchScan charges a full sequential scan of the table.
+func (c *Ctx) touchScan(tab *storage.Table) {
+	pages := tab.PageCount()
+	for p := 0; p < pages; p++ {
+		c.touchPage(tab.Def.Name, p)
+	}
+}
+
+// Result is a materialized relation: a layout and rows in that layout.
+type Result struct {
+	Cols []logical.ColumnID
+	Rows []datum.Row
+}
+
+// ColIndex returns the row offset of a column ID, or -1.
+func (r *Result) ColIndex(id logical.ColumnID) int {
+	for i, c := range r.Cols {
+		if c == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// env binds column IDs to values for scalar evaluation; parent chains
+// implement correlation into outer query blocks.
+type env struct {
+	cols   map[logical.ColumnID]int
+	row    datum.Row
+	parent *env
+}
+
+func newEnv(layout []logical.ColumnID, parent *env) *env {
+	m := make(map[logical.ColumnID]int, len(layout))
+	for i, c := range layout {
+		m[c] = i
+	}
+	return &env{cols: m, parent: parent}
+}
+
+func (e *env) lookup(id logical.ColumnID) (datum.D, error) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if i, ok := cur.cols[id]; ok {
+			if i >= len(cur.row) {
+				return datum.Null, fmt.Errorf("exec: row too short for column @%d", int(id))
+			}
+			return cur.row[i], nil
+		}
+	}
+	return datum.Null, fmt.Errorf("exec: unbound column @%d", int(id))
+}
+
+// evalCtx builds a logical.EvalContext over an env, wiring subquery
+// evaluation to the naive evaluator.
+func (c *Ctx) evalCtx(e *env) *logical.EvalContext {
+	return &logical.EvalContext{
+		Lookup: e.lookup,
+		EvalSubquery: func(sub *logical.Subquery, _ *logical.EvalContext) (datum.D, error) {
+			return c.evalSubquery(sub, e)
+		},
+	}
+}
+
+// evalSubquery executes a subquery with tuple-iteration semantics against the
+// current bindings.
+func (c *Ctx) evalSubquery(sub *logical.Subquery, e *env) (datum.D, error) {
+	c.Counters.SubqueryEvals++
+	res, err := c.EvalLogical(sub.Plan, e)
+	if err != nil {
+		return datum.Null, err
+	}
+	switch sub.Mode {
+	case logical.SubExists:
+		return datum.NewBool(len(res.Rows) > 0), nil
+	case logical.SubIn:
+		val, err := logical.Eval(sub.Scalar, c.evalCtx(e))
+		if err != nil {
+			return datum.Null, err
+		}
+		off := subqueryCol(res, sub)
+		sawNull := val.IsNull()
+		for _, r := range res.Rows {
+			if off >= len(r) {
+				continue
+			}
+			if r[off].IsNull() || val.IsNull() {
+				sawNull = true
+				continue
+			}
+			if datum.Compare(val, r[off]) == 0 {
+				return datum.NewBool(true), nil
+			}
+		}
+		if sawNull && len(res.Rows) > 0 {
+			return datum.Null, nil
+		}
+		return datum.NewBool(false), nil
+	case logical.SubScalar:
+		switch len(res.Rows) {
+		case 0:
+			return datum.Null, nil
+		case 1:
+			off := subqueryCol(res, sub)
+			if off >= len(res.Rows[0]) {
+				return datum.Null, nil
+			}
+			return res.Rows[0][off], nil
+		default:
+			return datum.Null, fmt.Errorf("exec: scalar subquery returned %d rows", len(res.Rows))
+		}
+	}
+	return datum.Null, fmt.Errorf("exec: unknown subquery mode %v", sub.Mode)
+}
+
+// filterRow reports whether the row passes all predicates (TRUE only).
+func (c *Ctx) filterRow(preds []logical.Scalar, e *env) (bool, error) {
+	ectx := c.evalCtx(e)
+	for _, p := range preds {
+		v, err := logical.Eval(p, ectx)
+		if err != nil {
+			return false, err
+		}
+		if !logical.TruthValue(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// scanLayoutOrds maps a list of query column IDs to base-table ordinals via
+// metadata.
+func (c *Ctx) scanOrds(cols []logical.ColumnID) []int {
+	ords := make([]int, len(cols))
+	for i, id := range cols {
+		ords[i] = c.Meta.Column(id).BaseOrd
+	}
+	return ords
+}
+
+// projectRow builds the scan output row from a stored row.
+func projectRow(stored datum.Row, ords []int) datum.Row {
+	out := make(datum.Row, len(ords))
+	for i, o := range ords {
+		out[i] = stored[o]
+	}
+	return out
+}
+
+// subqueryCol locates the subquery's value column in the result layout.
+func subqueryCol(res *Result, sub *logical.Subquery) int {
+	if sub.OutCol != 0 {
+		if off := res.ColIndex(sub.OutCol); off >= 0 {
+			return off
+		}
+	}
+	return 0
+}

@@ -1,0 +1,656 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datum"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/storage"
+)
+
+// Run executes a physical plan to completion and returns the materialized
+// result in the plan's layout.
+func Run(p physical.Plan, c *Ctx) (*Result, error) {
+	rows, err := c.runPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: p.Columns(), Rows: rows}, nil
+}
+
+// RunPlanQuery executes a physical plan for a query: run, order, project.
+func RunPlanQuery(p physical.Plan, q *logical.Query, c *Ctx) (*Result, error) {
+	res, err := Run(p, c)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 && !q.OrderBy.SatisfiedBy(p.Ordering()) {
+		sortResult(res, q.OrderBy, &c.Counters)
+	}
+	return presentation(res, q)
+}
+
+// sortResult sorts rows in place by the ordering over the result layout.
+func sortResult(res *Result, by logical.Ordering, counters *Counters) {
+	spec := make([]datum.SortSpec, len(by))
+	for i, o := range by {
+		off := res.ColIndex(o.Col)
+		if off < 0 {
+			return
+		}
+		spec[i] = datum.SortSpec{Col: off, Desc: o.Desc}
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		counters.Comparisons++
+		return datum.CompareRows(res.Rows[i], res.Rows[j], spec) < 0
+	})
+}
+
+// runPlan dispatches on the operator type. Operators materialize their
+// output; inner operators of joins may be re-materialized only once (the
+// engine caches nothing across calls — joins materialize inputs explicitly).
+func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
+	switch t := p.(type) {
+	case *physical.TableScan:
+		return c.runTableScan(t)
+	case *physical.IndexScan:
+		return c.runIndexScan(t)
+	case *physical.ValuesOp:
+		res, err := c.naiveValues(&logical.Values{Cols: t.Cols, Rows: t.Rows}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows, nil
+	case *physical.Filter:
+		in, err := c.runPlan(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		e := newEnv(t.Input.Columns(), nil)
+		var out []datum.Row
+		for _, r := range in {
+			c.Counters.RowsProcessed++
+			e.row = r
+			ok, err := c.filterRow(t.Preds, e)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	case *physical.Project:
+		in, err := c.runPlan(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		e := newEnv(t.Input.Columns(), nil)
+		ectx := c.evalCtx(e)
+		out := make([]datum.Row, 0, len(in))
+		for _, r := range in {
+			c.Counters.RowsProcessed++
+			e.row = r
+			nr := make(datum.Row, len(t.Items))
+			for i, it := range t.Items {
+				v, err := logical.Eval(it.Expr, ectx)
+				if err != nil {
+					return nil, err
+				}
+				nr[i] = v
+			}
+			out = append(out, nr)
+		}
+		return out, nil
+	case *physical.Sort:
+		in, err := c.runPlan(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Cols: t.Input.Columns(), Rows: in}
+		sortResult(res, t.By, &c.Counters)
+		return res.Rows, nil
+	case *physical.NLJoin:
+		return c.runNLJoin(t)
+	case *physical.INLJoin:
+		return c.runINLJoin(t)
+	case *physical.MergeJoin:
+		return c.runMergeJoin(t)
+	case *physical.HashJoin:
+		return c.runHashJoin(t)
+	case *physical.HashGroupBy:
+		return c.runGroupBy(t.Input, t.GroupCols, t.Aggs, true)
+	case *physical.StreamGroupBy:
+		return c.runGroupBy(t.Input, t.GroupCols, t.Aggs, false)
+	case *physical.LimitOp:
+		in, err := c.runPlan(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(in)) > t.N {
+			in = in[:t.N]
+		}
+		return in, nil
+	case *physical.Exchange:
+		in, err := c.runPlan(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		c.Counters.ExchangedRows += int64(len(in))
+		return in, nil
+	case *physical.UnionAll:
+		left, err := c.runPlan(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := c.runPlan(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{Cols: t.Cols}
+		if err := appendAligned(out, &Result{Cols: t.Left.Columns(), Rows: left}, t.LeftCols); err != nil {
+			return nil, err
+		}
+		if err := appendAligned(out, &Result{Cols: t.Right.Columns(), Rows: right}, t.RightCols); err != nil {
+			return nil, err
+		}
+		c.Counters.RowsProcessed += int64(len(out.Rows))
+		return out.Rows, nil
+	}
+	return nil, fmt.Errorf("exec: unknown physical operator %T", p)
+}
+
+func (c *Ctx) runTableScan(t *physical.TableScan) ([]datum.Row, error) {
+	tab, ok := c.Store.Table(t.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
+	}
+	c.touchScan(tab)
+	var out []datum.Row
+	e := newEnv(t.Cols, nil)
+	for _, r := range tab.Rows() {
+		c.Counters.RowsProcessed++
+		pr := projectRow(r, t.ColOrds)
+		if len(t.Filter) > 0 {
+			e.row = pr
+			ok, err := c.filterRow(t.Filter, e)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+func (c *Ctx) runIndexScan(t *physical.IndexScan) ([]datum.Row, error) {
+	tab, ok := c.Store.Table(t.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
+	}
+	ix, err := tab.Index(t.Index.Name)
+	if err != nil {
+		return nil, err
+	}
+	c.Counters.IndexSeeks++
+	var ids []int
+	switch {
+	case len(t.EqKey) > 0 && (!t.Lo.IsNull() || !t.Hi.IsNull()):
+		// Equality prefix + range on the next column: fetch eq matches and
+		// post-filter on the range column.
+		ids = ix.SeekEq(t.EqKey)
+		rangeOrd := t.Index.Cols[len(t.EqKey)]
+		ids = filterIDsByRange(tab, ids, rangeOrd, t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+	case len(t.EqKey) > 0:
+		ids = ix.SeekEq(t.EqKey)
+	default:
+		ids = ix.SeekRange(t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+	}
+	for _, id := range ids {
+		c.touchRow(tab, id)
+	}
+	e := newEnv(t.Cols, nil)
+	var out []datum.Row
+	for _, id := range ids {
+		c.Counters.RowsProcessed++
+		pr := projectRow(tab.Row(id), t.ColOrds)
+		if len(t.Filter) > 0 {
+			e.row = pr
+			ok, err := c.filterRow(t.Filter, e)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+func filterIDsByRange(tab *storage.Table, ids []int, ord int, lo datum.D, loIncl bool, hi datum.D, hiIncl bool) []int {
+	var out []int
+	for _, id := range ids {
+		v := tab.Row(id)[ord]
+		if v.IsNull() {
+			continue
+		}
+		if !lo.IsNull() {
+			cmp := datum.Compare(v, lo)
+			if cmp < 0 || (cmp == 0 && !loIncl) {
+				continue
+			}
+		}
+		if !hi.IsNull() {
+			cmp := datum.Compare(v, hi)
+			if cmp > 0 || (cmp == 0 && !hiIncl) {
+				continue
+			}
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func (c *Ctx) runNLJoin(t *physical.NLJoin) ([]datum.Row, error) {
+	left, err := c.runPlan(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.runPlan(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	leftRes := &Result{Cols: t.Left.Columns(), Rows: left}
+	rightRes := &Result{Cols: t.Right.Columns(), Rows: right}
+	lj := &logical.Join{Kind: t.Kind, On: t.On}
+	return c.joinMaterialized(lj, leftRes, rightRes)
+}
+
+// joinMaterialized performs the generic nested-loop join over materialized
+// inputs (shared with the naive engine's semantics).
+func (c *Ctx) joinMaterialized(t *logical.Join, left, right *Result) ([]datum.Row, error) {
+	combined := append(append([]logical.ColumnID{}, left.Cols...), right.Cols...)
+	e := newEnv(combined, nil)
+	var out []datum.Row
+	rightWidth := len(right.Cols)
+	rightMatched := make([]bool, len(right.Rows))
+	for _, lr := range left.Rows {
+		matched := false
+		for ri, rr := range right.Rows {
+			c.Counters.RowsProcessed++
+			e.row = lr.Concat(rr)
+			ok, err := c.filterRow(t.On, e)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			rightMatched[ri] = true
+			switch t.Kind {
+			case logical.InnerJoin, logical.LeftOuterJoin, logical.FullOuterJoin:
+				out = append(out, lr.Concat(rr))
+			case logical.SemiJoin:
+				out = append(out, lr)
+			}
+			if t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin {
+				break
+			}
+		}
+		switch t.Kind {
+		case logical.LeftOuterJoin, logical.FullOuterJoin:
+			if !matched {
+				out = append(out, lr.Concat(nullRow(rightWidth)))
+			}
+		case logical.AntiJoin:
+			if !matched {
+				out = append(out, lr)
+			}
+		}
+	}
+	if t.Kind == logical.FullOuterJoin {
+		leftWidth := len(left.Cols)
+		for ri, rr := range right.Rows {
+			if !rightMatched[ri] {
+				out = append(out, nullRow(leftWidth).Concat(rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (c *Ctx) runINLJoin(t *physical.INLJoin) ([]datum.Row, error) {
+	left, err := c.runPlan(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	tab, ok := c.Store.Table(t.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
+	}
+	ix, err := tab.Index(t.Index.Name)
+	if err != nil {
+		return nil, err
+	}
+	leftLayout := t.Left.Columns()
+	keyOffsets := make([]int, len(t.LeftKeys))
+	for i, k := range t.LeftKeys {
+		off := (&Result{Cols: leftLayout}).ColIndex(k)
+		if off < 0 {
+			return nil, fmt.Errorf("exec: INL key @%d not in outer layout", int(k))
+		}
+		keyOffsets[i] = off
+	}
+	combined := append(append([]logical.ColumnID{}, leftLayout...), t.Cols...)
+	e := newEnv(combined, nil)
+	innerWidth := len(t.Cols)
+	var out []datum.Row
+	for _, lr := range left {
+		// NULL keys never match under SQL equality.
+		key := make(datum.Row, len(keyOffsets))
+		nullKey := false
+		for i, off := range keyOffsets {
+			key[i] = lr[off]
+			if key[i].IsNull() {
+				nullKey = true
+			}
+		}
+		matched := false
+		if !nullKey {
+			c.Counters.IndexSeeks++
+			ids := ix.SeekEq(key)
+			for _, id := range ids {
+				c.touchRow(tab, id)
+			}
+			for _, id := range ids {
+				c.Counters.RowsProcessed++
+				rr := projectRow(tab.Row(id), t.ColOrds)
+				e.row = lr.Concat(rr)
+				ok, err := c.filterRow(t.ExtraOn, e)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				switch t.Kind {
+				case logical.InnerJoin, logical.LeftOuterJoin:
+					out = append(out, lr.Concat(rr))
+				case logical.SemiJoin:
+					out = append(out, lr)
+				}
+				if t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin {
+					break
+				}
+			}
+		}
+		switch t.Kind {
+		case logical.LeftOuterJoin:
+			if !matched {
+				out = append(out, lr.Concat(nullRow(innerWidth)))
+			}
+		case logical.AntiJoin:
+			if !matched {
+				out = append(out, lr)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (c *Ctx) runMergeJoin(t *physical.MergeJoin) ([]datum.Row, error) {
+	left, err := c.runPlan(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.runPlan(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	leftLayout, rightLayout := t.Left.Columns(), t.Right.Columns()
+	lOff, err := offsetsOf(leftLayout, t.LeftKeys)
+	if err != nil {
+		return nil, err
+	}
+	rOff, err := offsetsOf(rightLayout, t.RightKeys)
+	if err != nil {
+		return nil, err
+	}
+	combined := append(append([]logical.ColumnID{}, leftLayout...), rightLayout...)
+	e := newEnv(combined, nil)
+	rightWidth := len(rightLayout)
+	var out []datum.Row
+
+	li, ri := 0, 0
+	for li < len(left) {
+		lr := left[li]
+		if hasNullAt(lr, lOff) {
+			// NULL keys match nothing.
+			if t.Kind == logical.LeftOuterJoin {
+				out = append(out, lr.Concat(nullRow(rightWidth)))
+			} else if t.Kind == logical.AntiJoin {
+				out = append(out, lr)
+			}
+			li++
+			continue
+		}
+		// Advance right until >= left key.
+		for ri < len(right) && (hasNullAt(right[ri], rOff) || compareKeys(right[ri], rOff, lr, lOff, &c.Counters) < 0) {
+			ri++
+		}
+		// Collect the right group equal to the left key.
+		rj := ri
+		for rj < len(right) && compareKeys(right[rj], rOff, lr, lOff, &c.Counters) == 0 {
+			rj++
+		}
+		// Emit all left rows with this key against the group.
+		lj := li
+		for lj < len(left) && compareKeys(left[lj], lOff, lr, lOff, &c.Counters) == 0 {
+			curr := left[lj]
+			matched := false
+			for k := ri; k < rj; k++ {
+				c.Counters.RowsProcessed++
+				e.row = curr.Concat(right[k])
+				ok, err := c.filterRow(t.ExtraOn, e)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				switch t.Kind {
+				case logical.InnerJoin, logical.LeftOuterJoin:
+					out = append(out, curr.Concat(right[k]))
+				case logical.SemiJoin:
+					out = append(out, curr)
+				}
+				if t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin {
+					break
+				}
+			}
+			switch t.Kind {
+			case logical.LeftOuterJoin:
+				if !matched {
+					out = append(out, curr.Concat(nullRow(rightWidth)))
+				}
+			case logical.AntiJoin:
+				if !matched {
+					out = append(out, curr)
+				}
+			}
+			lj++
+		}
+		li = lj
+	}
+	return out, nil
+}
+
+func offsetsOf(layout []logical.ColumnID, keys []logical.ColumnID) ([]int, error) {
+	res := &Result{Cols: layout}
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		off := res.ColIndex(k)
+		if off < 0 {
+			return nil, fmt.Errorf("exec: key column @%d not in layout", int(k))
+		}
+		out[i] = off
+	}
+	return out, nil
+}
+
+func hasNullAt(r datum.Row, offs []int) bool {
+	for _, o := range offs {
+		if r[o].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func compareKeys(a datum.Row, aOff []int, b datum.Row, bOff []int, counters *Counters) int {
+	counters.Comparisons++
+	for i := range aOff {
+		c := datum.Compare(a[aOff[i]], b[bOff[i]])
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (c *Ctx) runHashJoin(t *physical.HashJoin) ([]datum.Row, error) {
+	left, err := c.runPlan(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.runPlan(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	leftLayout, rightLayout := t.Left.Columns(), t.Right.Columns()
+	lOff, err := offsetsOf(leftLayout, t.LeftKeys)
+	if err != nil {
+		return nil, err
+	}
+	rOff, err := offsetsOf(rightLayout, t.RightKeys)
+	if err != nil {
+		return nil, err
+	}
+	// Build on the right.
+	build := make(map[uint64][]int, len(right))
+	for i, rr := range right {
+		if hasNullAt(rr, rOff) {
+			continue
+		}
+		c.Counters.HashOps++
+		h := rr.Hash(rOff)
+		build[h] = append(build[h], i)
+	}
+	combined := append(append([]logical.ColumnID{}, leftLayout...), rightLayout...)
+	e := newEnv(combined, nil)
+	rightWidth := len(rightLayout)
+	rightMatched := make([]bool, len(right))
+	var out []datum.Row
+	for _, lr := range left {
+		matched := false
+		if !hasNullAt(lr, lOff) {
+			c.Counters.HashOps++
+			h := lr.Hash(lOff)
+			for _, ri := range build[h] {
+				rr := right[ri]
+				if !datum.EqualOn(lr, rr, lOff, rOff) {
+					continue
+				}
+				c.Counters.RowsProcessed++
+				e.row = lr.Concat(rr)
+				ok, err := c.filterRow(t.ExtraOn, e)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				rightMatched[ri] = true
+				switch t.Kind {
+				case logical.InnerJoin, logical.LeftOuterJoin, logical.FullOuterJoin:
+					out = append(out, lr.Concat(rr))
+				case logical.SemiJoin:
+					out = append(out, lr)
+				}
+				if t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin {
+					break
+				}
+			}
+		}
+		switch t.Kind {
+		case logical.LeftOuterJoin, logical.FullOuterJoin:
+			if !matched {
+				out = append(out, lr.Concat(nullRow(rightWidth)))
+			}
+		case logical.AntiJoin:
+			if !matched {
+				out = append(out, lr)
+			}
+		}
+	}
+	if t.Kind == logical.FullOuterJoin {
+		leftWidth := len(leftLayout)
+		for ri, rr := range right {
+			if !rightMatched[ri] {
+				out = append(out, nullRow(leftWidth).Concat(rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs []logical.AggItem, hash bool) ([]datum.Row, error) {
+	in, err := c.runPlan(input)
+	if err != nil {
+		return nil, err
+	}
+	layout := input.Columns()
+	keyOff, err := offsetsOf(layout, groupCols)
+	if err != nil {
+		return nil, err
+	}
+	gt := newGroupTable(len(groupCols), aggs)
+	e := newEnv(layout, nil)
+	ectx := c.evalCtx(e)
+	for _, r := range in {
+		c.Counters.RowsProcessed++
+		if hash {
+			c.Counters.HashOps++
+		}
+		e.row = r
+		key := make(datum.Row, len(keyOff))
+		for i, off := range keyOff {
+			key[i] = r[off]
+		}
+		args := make([]datum.D, len(aggs))
+		for i, a := range aggs {
+			if a.Arg == nil {
+				args[i] = datum.NewInt(1)
+				continue
+			}
+			v, err := logical.Eval(a.Arg, ectx)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		gt.add(key, key.Hash(seqOffsets(len(key))), args)
+	}
+	return gt.rows(), nil
+}

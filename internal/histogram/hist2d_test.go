@@ -1,0 +1,124 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datum"
+)
+
+// correlatedPairs builds columns where b tracks a closely (b = a + noise).
+func correlatedPairs(n int, rng *rand.Rand) (as, bs []datum.D) {
+	for i := 0; i < n; i++ {
+		a := rng.Int63n(1000)
+		b := a + rng.Int63n(20) - 10
+		as = append(as, datum.NewInt(a))
+		bs = append(bs, datum.NewInt(b))
+	}
+	return
+}
+
+func exactJointSel(as, bs []datum.D, aHi, bHi int64) float64 {
+	n, hits := 0, 0
+	for i := range as {
+		if as[i].IsNull() || bs[i].IsNull() {
+			continue
+		}
+		n++
+		if as[i].Int() <= aHi && bs[i].Int() <= bHi {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+func TestHist2DCorrelatedBeatsIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	as, bs := correlatedPairs(40000, rng)
+	h2 := Build2D(as, bs, 20, 10)
+	ha := BuildEquiDepth(as, 30)
+	hb := BuildEquiDepth(bs, 30)
+
+	for _, hi := range []int64{100, 300, 500, 800} {
+		exact := exactJointSel(as, bs, hi, hi)
+		joint := h2.SelectivityRanges(datum.Null, false, datum.NewInt(hi), true,
+			datum.Null, false, datum.NewInt(hi), true)
+		indep := ha.SelectivityRange(datum.Null, false, datum.NewInt(hi), true) *
+			hb.SelectivityRange(datum.Null, false, datum.NewInt(hi), true)
+		jointErr := math.Abs(joint - exact)
+		indepErr := math.Abs(indep - exact)
+		if jointErr > indepErr {
+			t.Errorf("hi=%d: joint err %.4f should beat independence err %.4f (exact %.4f, joint %.4f, indep %.4f)",
+				hi, jointErr, indepErr, exact, joint, indep)
+		}
+		if jointErr > 0.05 {
+			t.Errorf("hi=%d: joint estimate off by %.4f (exact %.4f, joint %.4f)", hi, jointErr, exact, joint)
+		}
+	}
+}
+
+func TestHist2DIndependentColumnsStillFine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var as, bs []datum.D
+	for i := 0; i < 20000; i++ {
+		as = append(as, datum.NewInt(rng.Int63n(1000)))
+		bs = append(bs, datum.NewInt(rng.Int63n(1000)))
+	}
+	h2 := Build2D(as, bs, 15, 10)
+	exact := exactJointSel(as, bs, 500, 500)
+	got := h2.SelectivityRanges(datum.Null, false, datum.NewInt(500), true,
+		datum.Null, false, datum.NewInt(500), true)
+	if math.Abs(got-exact) > 0.05 {
+		t.Errorf("independent columns: got %.4f, exact %.4f", got, exact)
+	}
+}
+
+func TestHist2DEdgeCases(t *testing.T) {
+	h := Build2D(nil, nil, 4, 4)
+	if h.Total != 0 {
+		t.Error("empty 2D histogram")
+	}
+	if got := h.SelectivityRanges(datum.Null, false, datum.Null, false, datum.Null, false, datum.Null, false); got != 0 {
+		t.Error("empty histogram selectivity should be 0")
+	}
+	// NULLs ignored.
+	as := []datum.D{datum.NewInt(1), datum.Null, datum.NewInt(2)}
+	bs := []datum.D{datum.NewInt(1), datum.NewInt(5), datum.Null}
+	h = Build2D(as, bs, 2, 2)
+	if h.Total != 1 {
+		t.Errorf("Total = %v, want 1 (rows with any NULL dropped)", h.Total)
+	}
+	// Unbounded ranges select everything.
+	if got := h.SelectivityRanges(datum.Null, false, datum.Null, false, datum.Null, false, datum.Null, false); got != 1 {
+		t.Errorf("unbounded selectivity = %v, want 1", got)
+	}
+	// Mismatched lengths panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched slices should panic")
+		}
+	}()
+	Build2D([]datum.D{datum.NewInt(1)}, nil, 2, 2)
+}
+
+func TestHist2DSelectivityBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	as, bs := correlatedPairs(5000, rng)
+	h2 := Build2D(as, bs, 10, 8)
+	for trial := 0; trial < 200; trial++ {
+		aLo, aHi := rng.Int63n(1200)-100, rng.Int63n(1200)-100
+		if aLo > aHi {
+			aLo, aHi = aHi, aLo
+		}
+		bLo, bHi := rng.Int63n(1200)-100, rng.Int63n(1200)-100
+		if bLo > bHi {
+			bLo, bHi = bHi, bLo
+		}
+		got := h2.SelectivityRanges(datum.NewInt(aLo), true, datum.NewInt(aHi), true,
+			datum.NewInt(bLo), true, datum.NewInt(bHi), true)
+		if got < 0 || got > 1 {
+			t.Fatalf("selectivity %v out of [0,1]", got)
+		}
+	}
+}

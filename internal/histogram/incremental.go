@@ -1,0 +1,128 @@
+package histogram
+
+import (
+	"sort"
+
+	"repro/internal/datum"
+)
+
+// Incremental wraps a histogram with approximate maintenance under inserts,
+// in the spirit of Gibbons/Matias/Poosala (the paper's [18]): inserts update
+// bucket counts in place; when a bucket grows past a split threshold it is
+// split at its midpoint, and when the bucket budget is exceeded the two
+// smallest adjacent buckets are merged. The result stays an approximate
+// equi-depth histogram without rescanning the table.
+type Incremental struct {
+	H *Histogram
+	// MaxBuckets is the bucket budget; splits that would exceed it trigger
+	// a merge of the cheapest adjacent pair.
+	MaxBuckets int
+	// SplitFactor: a bucket splits when its count exceeds
+	// SplitFactor * (Total/MaxBuckets). 2.0 is the classical setting.
+	SplitFactor float64
+}
+
+// NewIncremental starts incremental maintenance over an existing histogram.
+func NewIncremental(h *Histogram, maxBuckets int) *Incremental {
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	return &Incremental{H: h, MaxBuckets: maxBuckets, SplitFactor: 2.0}
+}
+
+// Insert records one new value.
+func (inc *Incremental) Insert(v datum.D) {
+	if v.IsNull() {
+		return
+	}
+	h := inc.H
+	if len(h.Buckets) == 0 {
+		h.Buckets = append(h.Buckets, Bucket{Lower: v, Upper: v, Count: 1, Distinct: 1, Singleton: true})
+		h.Total = 1
+		h.Distinct = 1
+		return
+	}
+	i := inc.findBucket(v)
+	b := &h.Buckets[i]
+	// Widen boundary buckets to absorb out-of-range inserts.
+	if datum.Compare(v, b.Lower) < 0 {
+		b.Lower = v
+		b.Distinct++
+		h.Distinct++
+		b.Singleton = false
+	} else if datum.Compare(v, b.Upper) > 0 {
+		b.Upper = v
+		b.Distinct++
+		h.Distinct++
+		b.Singleton = false
+	}
+	b.Count++
+	h.Total++
+	if b.Count > inc.SplitFactor*h.Total/float64(inc.MaxBuckets) && !b.Singleton {
+		inc.split(i)
+	}
+}
+
+func (inc *Incremental) findBucket(v datum.D) int {
+	h := inc.H
+	n := len(h.Buckets)
+	i := sort.Search(n, func(i int) bool {
+		return datum.Compare(h.Buckets[i].Upper, v) >= 0
+	})
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// split divides bucket i at its (numeric) midpoint, assuming uniform spread.
+// Non-numeric buckets are left intact (counts only grow; accuracy degrades
+// gracefully, which the experiments measure).
+func (inc *Incremental) split(i int) {
+	h := inc.H
+	b := h.Buckets[i]
+	if !b.Lower.Kind().Numeric() || !b.Upper.Kind().Numeric() {
+		return
+	}
+	lo, hi := b.Lower.Float(), b.Upper.Float()
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	left := Bucket{Lower: b.Lower, Upper: datum.NewFloat(mid), Count: b.Count / 2, Distinct: b.Distinct / 2}
+	right := Bucket{Lower: datum.NewFloat(mid), Upper: b.Upper, Count: b.Count / 2, Distinct: b.Distinct / 2}
+	nb := make([]Bucket, 0, len(h.Buckets)+1)
+	nb = append(nb, h.Buckets[:i]...)
+	nb = append(nb, left, right)
+	nb = append(nb, h.Buckets[i+1:]...)
+	h.Buckets = nb
+	if len(h.Buckets) > inc.MaxBuckets {
+		inc.mergeSmallestPair()
+	}
+}
+
+func (inc *Incremental) mergeSmallestPair() {
+	h := inc.H
+	if len(h.Buckets) < 2 {
+		return
+	}
+	best, bestSum := -1, 0.0
+	for i := 0; i+1 < len(h.Buckets); i++ {
+		s := h.Buckets[i].Count + h.Buckets[i+1].Count
+		if best == -1 || s < bestSum {
+			best, bestSum = i, s
+		}
+	}
+	a, b := h.Buckets[best], h.Buckets[best+1]
+	merged := Bucket{
+		Lower:    a.Lower,
+		Upper:    b.Upper,
+		Count:    a.Count + b.Count,
+		Distinct: a.Distinct + b.Distinct,
+	}
+	nb := make([]Bucket, 0, len(h.Buckets)-1)
+	nb = append(nb, h.Buckets[:best]...)
+	nb = append(nb, merged)
+	nb = append(nb, h.Buckets[best+2:]...)
+	h.Buckets = nb
+}

@@ -1,0 +1,135 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datum"
+)
+
+func TestSampleSizeAndMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := uniformInts(1000, 0, 99, rng)
+	s := Sample(vals, 100, rng)
+	if len(s) != 100 {
+		t.Fatalf("sample size %d, want 100", len(s))
+	}
+	s2 := Sample(vals, 5000, rng)
+	if len(s2) != 1000 {
+		t.Fatalf("oversized sample should return all %d values, got %d", 1000, len(s2))
+	}
+}
+
+func TestBuildFromSampleAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	vals := uniformInts(n, 0, 9999, rng)
+	sample := Sample(vals, 2000, rng)
+	h := BuildFromSample(sample, n, 25)
+	if math.Abs(h.Total-float64(n)) > 1 {
+		t.Fatalf("scaled total %.0f, want %d", h.Total, n)
+	}
+	// Shapiro–Connell claim: small sample yields accurate range estimates.
+	for _, rg := range [][2]int64{{1000, 2000}, {0, 4999}, {9000, 9999}} {
+		lo, hi := datum.NewInt(rg[0]), datum.NewInt(rg[1])
+		got := h.EstimateRange(lo, true, hi, true)
+		want := exactRange(vals, lo, true, hi, true)
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("sampled histogram range [%d,%d]: est %.0f vs exact %.0f", rg[0], rg[1], got, want)
+		}
+	}
+}
+
+func TestDistinctEstimators(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40000
+	// Low-distinct column: 100 values.
+	low := uniformInts(n, 0, 99, rng)
+	// High-distinct column: mostly unique.
+	high := make([]datum.D, n)
+	for i := range high {
+		high[i] = datum.NewInt(int64(i))
+	}
+	sampleLow := Sample(low, 1000, rng)
+	sampleHigh := Sample(high, 1000, rng)
+
+	exactLow, exactHigh := ExactDistinct(low), ExactDistinct(high)
+
+	// GEE should be within its guaranteed sqrt(n/m) ratio bound on both.
+	bound := math.Sqrt(float64(n) / 1000.0)
+	for name, c := range map[string][2]float64{
+		"low":  {DistinctGEE(sampleLow, n), exactLow},
+		"high": {DistinctGEE(sampleHigh, n), exactHigh},
+	} {
+		ratio := c[0] / c[1]
+		if ratio < 1/(bound*1.5) || ratio > bound*1.5 {
+			t.Errorf("GEE %s: est %.0f exact %.0f ratio %.2f exceeds bound %.2f", name, c[0], c[1], ratio, bound)
+		}
+	}
+
+	// Naive scale-up drastically overestimates the low-distinct column —
+	// the "provably error-prone" behaviour the paper cites.
+	naiveLow := DistinctScaleUp(sampleLow, n)
+	if naiveLow < exactLow*5 {
+		t.Errorf("scale-up on low-distinct: est %.0f vs exact %.0f — expected gross overestimate", naiveLow, exactLow)
+	}
+
+	// Jackknife stays within n and above sample distinct count.
+	jk := DistinctJackknife(sampleHigh, n)
+	if jk > float64(n) || jk < ExactDistinct(sampleHigh) {
+		t.Errorf("jackknife %.0f out of sane bounds", jk)
+	}
+}
+
+func TestDistinctEstimatorsEmpty(t *testing.T) {
+	if DistinctGEE(nil, 100) != 0 || DistinctScaleUp(nil, 100) != 0 || DistinctJackknife(nil, 100) != 0 {
+		t.Error("empty sample should estimate 0")
+	}
+}
+
+func TestIncrementalMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	initial := uniformInts(5000, 0, 999, rng)
+	h := BuildEquiDepth(initial, 20)
+	inc := NewIncremental(h, 20)
+
+	inserts := uniformInts(5000, 0, 1999, rng) // domain grows
+	all := append(append([]datum.D{}, initial...), inserts...)
+	for _, v := range inserts {
+		inc.Insert(v)
+	}
+	if math.Abs(h.Total-10000) > 1e-6 {
+		t.Fatalf("total after inserts = %v, want 10000", h.Total)
+	}
+	if len(h.Buckets) > 21 {
+		t.Fatalf("bucket budget exceeded: %d", len(h.Buckets))
+	}
+	// Range accuracy should remain reasonable after incremental updates.
+	for _, rg := range [][2]int64{{0, 499}, {500, 1499}, {1500, 1999}} {
+		lo, hi := datum.NewInt(rg[0]), datum.NewInt(rg[1])
+		got := h.EstimateRange(lo, true, hi, true)
+		want := exactRange(all, lo, true, hi, true)
+		if want > 500 && math.Abs(got-want)/want > 0.5 {
+			t.Errorf("incremental range [%d,%d]: est %.0f vs exact %.0f", rg[0], rg[1], got, want)
+		}
+	}
+}
+
+func TestIncrementalFromEmpty(t *testing.T) {
+	h := &Histogram{}
+	inc := NewIncremental(h, 8)
+	inc.Insert(datum.Null) // ignored
+	if h.Total != 0 {
+		t.Fatal("NULL insert should be ignored")
+	}
+	for i := 0; i < 100; i++ {
+		inc.Insert(datum.NewInt(int64(i % 10)))
+	}
+	if h.Total != 100 {
+		t.Fatalf("total = %v, want 100", h.Total)
+	}
+	if len(h.Buckets) == 0 || len(h.Buckets) > 8 {
+		t.Fatalf("bucket count %d out of budget", len(h.Buckets))
+	}
+}

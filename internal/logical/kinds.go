@@ -1,0 +1,21 @@
+package logical
+
+import "repro/internal/datum"
+
+// Local aliases keep kind-inference code in the builder concise.
+type datumKind = datum.Kind
+
+const (
+	kindNull  = datum.KindNull
+	kindBool  = datum.KindBool
+	kindInt   = datum.KindInt
+	kindFloat = datum.KindFloat
+)
+
+// zeroFor returns the additive identity used to lower unary minus.
+func zeroFor(k datumKind) datum.D {
+	if k == kindFloat {
+		return datum.NewFloat(0)
+	}
+	return datum.NewInt(0)
+}

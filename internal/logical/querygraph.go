@@ -1,0 +1,199 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QueryGraph is the calculus-oriented representation of Figure 3 of the
+// paper: nodes are relations (correlation variables) of one join block,
+// labeled edges are the join predicates connecting them. Local (single-
+// relation) predicates annotate the nodes.
+type QueryGraph struct {
+	// Nodes are the leaf relational expressions of the join block.
+	Nodes []RelExpr
+	// NodeCols[i] holds the output columns of Nodes[i].
+	NodeCols []ColSet
+	// Edges connect pairs of nodes with their join predicates.
+	Edges []GraphEdge
+	// Local[i] are predicates referencing only Nodes[i].
+	Local [][]Scalar
+	// Complex are predicates spanning three or more nodes (kept aside; they
+	// are applied once all their relations are joined).
+	Complex []Scalar
+}
+
+// GraphEdge is a labeled edge between two graph nodes.
+type GraphEdge struct {
+	A, B  int
+	Preds []Scalar
+}
+
+// ExtractJoinBlock flattens a tree of inner joins and selections into its
+// leaf relations and the full predicate list. ok is false if e is not an
+// inner-join block root (a single leaf still succeeds with one relation).
+func ExtractJoinBlock(e RelExpr) (leaves []RelExpr, preds []Scalar, ok bool) {
+	switch t := e.(type) {
+	case *Select:
+		l, p, ok := ExtractJoinBlock(t.Input)
+		if !ok {
+			return nil, nil, false
+		}
+		return l, append(p, t.Filters...), true
+	case *Join:
+		if t.Kind != InnerJoin {
+			return []RelExpr{e}, nil, true // treat non-inner join as a leaf
+		}
+		ll, lp, ok := ExtractJoinBlock(t.Left)
+		if !ok {
+			return nil, nil, false
+		}
+		rl, rp, ok := ExtractJoinBlock(t.Right)
+		if !ok {
+			return nil, nil, false
+		}
+		leaves = append(ll, rl...)
+		preds = append(append(lp, rp...), t.On...)
+		return leaves, preds, true
+	default:
+		return []RelExpr{e}, nil, true
+	}
+}
+
+// BuildQueryGraph classifies the block's predicates into local predicates,
+// binary join edges and complex (hyper-)predicates.
+func BuildQueryGraph(leaves []RelExpr, preds []Scalar) *QueryGraph {
+	g := &QueryGraph{
+		Nodes:    leaves,
+		NodeCols: make([]ColSet, len(leaves)),
+		Local:    make([][]Scalar, len(leaves)),
+	}
+	for i, l := range leaves {
+		g.NodeCols[i] = l.OutputCols()
+	}
+	edgeIndex := map[[2]int]int{}
+	for _, p := range preds {
+		cols := ScalarCols(p)
+		var touching []int
+		for i, nc := range g.NodeCols {
+			if cols.Intersects(nc) {
+				touching = append(touching, i)
+			}
+		}
+		switch len(touching) {
+		case 0:
+			// Constant or outer-referencing predicate: treat as complex.
+			g.Complex = append(g.Complex, p)
+		case 1:
+			g.Local[touching[0]] = append(g.Local[touching[0]], p)
+		case 2:
+			key := [2]int{touching[0], touching[1]}
+			if idx, ok := edgeIndex[key]; ok {
+				g.Edges[idx].Preds = append(g.Edges[idx].Preds, p)
+			} else {
+				edgeIndex[key] = len(g.Edges)
+				g.Edges = append(g.Edges, GraphEdge{A: key[0], B: key[1], Preds: []Scalar{p}})
+			}
+		default:
+			g.Complex = append(g.Complex, p)
+		}
+	}
+	return g
+}
+
+// Connected reports whether the subset of nodes (by index) forms a connected
+// subgraph — used by enumerators to avoid Cartesian products.
+func (g *QueryGraph) Connected(subset []int) bool {
+	if len(subset) <= 1 {
+		return true
+	}
+	inSet := map[int]bool{}
+	for _, i := range subset {
+		inSet[i] = true
+	}
+	adj := map[int][]int{}
+	for _, e := range g.Edges {
+		if inSet[e.A] && inSet[e.B] {
+			adj[e.A] = append(adj[e.A], e.B)
+			adj[e.B] = append(adj[e.B], e.A)
+		}
+	}
+	seen := map[int]bool{subset[0]: true}
+	stack := []int{subset[0]}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return len(seen) == len(subset)
+}
+
+// EdgesBetween returns the predicates connecting any node in a to any node
+// in b.
+func (g *QueryGraph) EdgesBetween(a, b []int) []Scalar {
+	inA := map[int]bool{}
+	for _, i := range a {
+		inA[i] = true
+	}
+	inB := map[int]bool{}
+	for _, i := range b {
+		inB[i] = true
+	}
+	var out []Scalar
+	for _, e := range g.Edges {
+		if (inA[e.A] && inB[e.B]) || (inA[e.B] && inB[e.A]) {
+			out = append(out, e.Preds...)
+		}
+	}
+	return out
+}
+
+// Star reports whether the graph is a star: one hub connected to every other
+// node, with no other edges — the decision-support shape §4.1.1 discusses.
+func (g *QueryGraph) Star() (hub int, ok bool) {
+	n := len(g.Nodes)
+	if n < 3 {
+		return 0, false
+	}
+	deg := make([]int, n)
+	for _, e := range g.Edges {
+		deg[e.A]++
+		deg[e.B]++
+	}
+	hub = -1
+	for i, d := range deg {
+		if d == n-1 {
+			hub = i
+		} else if d != 1 {
+			return 0, false
+		}
+	}
+	if hub < 0 {
+		return 0, false
+	}
+	return hub, len(g.Edges) == n-1
+}
+
+// String renders the graph for diagnostics.
+func (g *QueryGraph) String() string {
+	var sb strings.Builder
+	for i := range g.Nodes {
+		name := fmt.Sprintf("R%d", i)
+		if s, ok := g.Nodes[i].(*Scan); ok {
+			name = s.Binding
+		}
+		fmt.Fprintf(&sb, "node %d: %s local=%d\n", i, name, len(g.Local[i]))
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&sb, "edge %d--%d (%d preds)\n", e.A, e.B, len(e.Preds))
+	}
+	if len(g.Complex) > 0 {
+		fmt.Fprintf(&sb, "complex preds: %d\n", len(g.Complex))
+	}
+	return sb.String()
+}

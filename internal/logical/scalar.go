@@ -1,0 +1,418 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// Scalar is a scalar expression over query columns.
+type Scalar interface {
+	scalar()
+	String() string
+}
+
+// Col references a query column by ID.
+type Col struct{ ID ColumnID }
+
+func (*Col) scalar()          {}
+func (c *Col) String() string { return fmt.Sprintf("@%d", int(c.ID)) }
+
+// Const is a literal value.
+type Const struct{ Val datum.D }
+
+func (*Const) scalar()          {}
+func (c *Const) String() string { return c.Val.String() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+	CmpLike
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	case CmpLike:
+		return "LIKE"
+	}
+	return "?"
+}
+
+// Commute returns the operator with operands swapped (a op b == b op' a).
+func (op CmpOp) Commute() CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	}
+	return op
+}
+
+// Cmp is a comparison producing a (possibly NULL) boolean.
+type Cmp struct {
+	Op   CmpOp
+	L, R Scalar
+}
+
+func (*Cmp) scalar()          {}
+func (c *Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	ArithAdd ArithOp = iota
+	ArithSub
+	ArithMul
+	ArithDiv
+	ArithMod
+)
+
+func (op ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/", "%"}[op]
+}
+
+// Arith is an arithmetic expression.
+type Arith struct {
+	Op   ArithOp
+	L, R Scalar
+}
+
+func (*Arith) scalar()          {}
+func (a *Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// And is a conjunction (three-valued).
+type And struct{ L, R Scalar }
+
+func (*And) scalar()          {}
+func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is a disjunction (three-valued).
+type Or struct{ L, R Scalar }
+
+func (*Or) scalar()          {}
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is a negation (three-valued).
+type Not struct{ E Scalar }
+
+func (*Not) scalar()          {}
+func (n *Not) String() string { return fmt.Sprintf("NOT %s", n.E) }
+
+// IsNull tests for NULL; it never returns NULL itself.
+type IsNull struct {
+	E       Scalar
+	Negated bool
+}
+
+func (*IsNull) scalar() {}
+func (e *IsNull) String() string {
+	if e.Negated {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.E)
+}
+
+// InList tests membership in a literal list.
+type InList struct {
+	E       Scalar
+	List    []Scalar
+	Negated bool
+}
+
+func (*InList) scalar() {}
+func (e *InList) String() string {
+	var items []string
+	for _, it := range e.List {
+		items = append(items, it.String())
+	}
+	neg := ""
+	if e.Negated {
+		neg = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", e.E, neg, strings.Join(items, ", "))
+}
+
+// SubqueryMode distinguishes how a subquery is used in a scalar context.
+type SubqueryMode uint8
+
+// Subquery modes.
+const (
+	SubExists SubqueryMode = iota // EXISTS (sub)
+	SubIn                         // e IN (sub)
+	SubScalar                     // (sub) as a value; must return <= 1 row
+)
+
+func (m SubqueryMode) String() string {
+	switch m {
+	case SubExists:
+		return "EXISTS"
+	case SubIn:
+		return "IN"
+	case SubScalar:
+		return "SCALAR"
+	}
+	return "?"
+}
+
+// Subquery embeds a relational subplan in a scalar expression. Correlated
+// column references appear as Col nodes whose IDs are produced outside Plan
+// (the OuterCols). Before optimization the unnesting rewrites of §4.2 remove
+// Subquery nodes where possible; the executor can also evaluate them directly
+// with tuple-iteration semantics — the baseline the paper's unnesting work
+// improves on.
+type Subquery struct {
+	Mode SubqueryMode
+	// Scalar is the left operand for SubIn; nil otherwise.
+	Scalar Scalar
+	// Plan is the subquery's relational plan.
+	Plan RelExpr
+	// OutCol is the column of Plan holding the compared/returned value for
+	// SubIn/SubScalar (zero when the subquery produces no columns).
+	OutCol ColumnID
+	// OuterCols are the correlated columns referenced by Plan but produced
+	// by the enclosing query.
+	OuterCols ColSet
+	Negated   bool
+}
+
+func (*Subquery) scalar() {}
+func (s *Subquery) String() string {
+	neg := ""
+	if s.Negated {
+		neg = "NOT "
+	}
+	corr := ""
+	if !s.OuterCols.Empty() {
+		corr = " corr=" + s.OuterCols.String()
+	}
+	if s.Mode == SubIn {
+		return fmt.Sprintf("(%s %sIN <subquery%s>)", s.Scalar, neg, corr)
+	}
+	return fmt.Sprintf("%s%s <subquery%s>", neg, s.Mode, corr)
+}
+
+// UDPRef is a user-defined predicate applied to columns (§7.2). Its cost and
+// selectivity are declared, not derived; EvalFn supplies executable behaviour
+// for the simulation.
+type UDPRef struct {
+	Name         string
+	Args         []Scalar
+	PerTupleCost float64
+	Selectivity  float64
+	EvalFn       func([]datum.D) bool
+}
+
+func (*UDPRef) scalar() {}
+func (u *UDPRef) String() string {
+	var args []string
+	for _, a := range u.Args {
+		args = append(args, a.String())
+	}
+	return fmt.Sprintf("%s(%s)[cost=%.1f,sel=%.2f]", u.Name, strings.Join(args, ","), u.PerTupleCost, u.Selectivity)
+}
+
+// --- Scalar utilities ---
+
+// ScalarCols returns the set of column IDs referenced by s, including
+// correlated references inside subqueries.
+func ScalarCols(s Scalar) ColSet {
+	var set ColSet
+	VisitScalar(s, func(sc Scalar) {
+		switch t := sc.(type) {
+		case *Col:
+			set.Add(t.ID)
+		case *Subquery:
+			set = set.Union(t.OuterCols)
+		}
+	})
+	return set
+}
+
+// VisitScalar walks s depth-first, calling f on every node. It does not
+// descend into subquery plans (their outer references are summarized by
+// OuterCols).
+func VisitScalar(s Scalar, f func(Scalar)) {
+	if s == nil {
+		return
+	}
+	f(s)
+	switch t := s.(type) {
+	case *Cmp:
+		VisitScalar(t.L, f)
+		VisitScalar(t.R, f)
+	case *Arith:
+		VisitScalar(t.L, f)
+		VisitScalar(t.R, f)
+	case *And:
+		VisitScalar(t.L, f)
+		VisitScalar(t.R, f)
+	case *Or:
+		VisitScalar(t.L, f)
+		VisitScalar(t.R, f)
+	case *Not:
+		VisitScalar(t.E, f)
+	case *IsNull:
+		VisitScalar(t.E, f)
+	case *InList:
+		VisitScalar(t.E, f)
+		for _, e := range t.List {
+			VisitScalar(e, f)
+		}
+	case *Subquery:
+		if t.Scalar != nil {
+			VisitScalar(t.Scalar, f)
+		}
+	case *UDPRef:
+		for _, a := range t.Args {
+			VisitScalar(a, f)
+		}
+	}
+}
+
+// RewriteScalar rebuilds s bottom-up, replacing each node by f(node). f is
+// applied to the node after its children have been rewritten.
+func RewriteScalar(s Scalar, f func(Scalar) Scalar) Scalar {
+	if s == nil {
+		return nil
+	}
+	switch t := s.(type) {
+	case *Cmp:
+		s = &Cmp{Op: t.Op, L: RewriteScalar(t.L, f), R: RewriteScalar(t.R, f)}
+	case *Arith:
+		s = &Arith{Op: t.Op, L: RewriteScalar(t.L, f), R: RewriteScalar(t.R, f)}
+	case *And:
+		s = &And{L: RewriteScalar(t.L, f), R: RewriteScalar(t.R, f)}
+	case *Or:
+		s = &Or{L: RewriteScalar(t.L, f), R: RewriteScalar(t.R, f)}
+	case *Not:
+		s = &Not{E: RewriteScalar(t.E, f)}
+	case *IsNull:
+		s = &IsNull{E: RewriteScalar(t.E, f), Negated: t.Negated}
+	case *InList:
+		list := make([]Scalar, len(t.List))
+		for i, e := range t.List {
+			list[i] = RewriteScalar(e, f)
+		}
+		s = &InList{E: RewriteScalar(t.E, f), List: list, Negated: t.Negated}
+	case *Subquery:
+		cp := *t
+		if t.Scalar != nil {
+			cp.Scalar = RewriteScalar(t.Scalar, f)
+		}
+		s = &cp
+	case *UDPRef:
+		cp := *t
+		cp.Args = make([]Scalar, len(t.Args))
+		for i, a := range t.Args {
+			cp.Args[i] = RewriteScalar(a, f)
+		}
+		s = &cp
+	}
+	return f(s)
+}
+
+// RemapScalar replaces column references according to the mapping (IDs not in
+// the map are unchanged).
+func RemapScalar(s Scalar, mapping map[ColumnID]ColumnID) Scalar {
+	return RewriteScalar(s, func(sc Scalar) Scalar {
+		if c, ok := sc.(*Col); ok {
+			if to, ok := mapping[c.ID]; ok {
+				return &Col{ID: to}
+			}
+		}
+		if sub, ok := sc.(*Subquery); ok {
+			cp := *sub
+			var outer ColSet
+			sub.OuterCols.ForEach(func(c ColumnID) {
+				if to, ok := mapping[c]; ok {
+					outer.Add(to)
+				} else {
+					outer.Add(c)
+				}
+			})
+			cp.OuterCols = outer
+			cp.Plan = RemapRel(sub.Plan, mapping)
+			if to, ok := mapping[sub.OutCol]; ok {
+				cp.OutCol = to
+			}
+			return &cp
+		}
+		return sc
+	})
+}
+
+// SplitConjunction flattens nested ANDs into a list of conjuncts.
+func SplitConjunction(s Scalar) []Scalar {
+	if s == nil {
+		return nil
+	}
+	if a, ok := s.(*And); ok {
+		return append(SplitConjunction(a.L), SplitConjunction(a.R)...)
+	}
+	return []Scalar{s}
+}
+
+// Conjoin combines conjuncts with AND; it returns nil for an empty list.
+func Conjoin(conjuncts []Scalar) Scalar {
+	var out Scalar
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &And{L: out, R: c}
+		}
+	}
+	return out
+}
+
+// HasSubquery reports whether s contains any Subquery node.
+func HasSubquery(s Scalar) bool {
+	found := false
+	VisitScalar(s, func(sc Scalar) {
+		if _, ok := sc.(*Subquery); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// FormatScalar renders s with human-readable column names from md.
+func FormatScalar(s Scalar, md *Metadata) string {
+	if s == nil {
+		return ""
+	}
+	str := s.String()
+	// Replace @N with qualified names, longest IDs first to avoid @1 eating @12.
+	for id := md.NumColumns(); id >= 1; id-- {
+		str = strings.ReplaceAll(str, fmt.Sprintf("@%d", id), md.QualifiedName(ColumnID(id)))
+	}
+	return str
+}

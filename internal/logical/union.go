@@ -1,0 +1,218 @@
+package logical
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/sql"
+)
+
+// buildUnion builds a chain of UNION [ALL] arms. Each arm is built
+// independently (fresh column IDs); the union allocates fresh output columns
+// named after the first arm. ORDER BY on a union may reference output
+// columns by name only, per standard SQL.
+func (b *Builder) buildUnion(sel *sql.SelectStmt, parent *scope) (*selectOut, error) {
+	first := *sel
+	first.Union = nil
+	first.OrderBy = nil
+	first.Limit = nil
+	head, err := b.buildSelect(&first, parent)
+	if err != nil {
+		return nil, err
+	}
+	outs := []*selectOut{head}
+	for _, arm := range sel.Union {
+		if len(arm.Stmt.OrderBy) > 0 || arm.Stmt.Limit != nil {
+			return nil, fmt.Errorf("logical: ORDER BY/LIMIT must follow the last UNION arm")
+		}
+		o, err := b.buildSelect(arm.Stmt, parent)
+		if err != nil {
+			return nil, err
+		}
+		if len(o.resultCols) != len(head.resultCols) {
+			return nil, fmt.Errorf("logical: UNION arms have %d vs %d columns",
+				len(head.resultCols), len(o.resultCols))
+		}
+		outs = append(outs, o)
+	}
+
+	// Fresh output columns, named and typed after the first arm.
+	unionCols := make([]ColumnID, len(head.resultCols))
+	for i, id := range head.resultCols {
+		cm := b.md.Column(id)
+		unionCols[i] = b.md.AddColumn(ColumnMeta{Name: head.resultNames[i], Kind: cm.Kind})
+	}
+
+	acc := head.rel
+	accCols := head.resultCols
+	for k, arm := range sel.Union {
+		right := outs[k+1]
+		u := RelExpr(&Union{
+			Left: acc, Right: right.rel,
+			LeftCols: accCols, RightCols: right.resultCols,
+			Cols: unionCols,
+		})
+		if !arm.All {
+			// UNION (distinct) deduplicates the entire result so far.
+			u = &GroupBy{Input: u, GroupCols: append([]ColumnID{}, unionCols...)}
+		}
+		acc = u
+		accCols = unionCols
+	}
+
+	out := &selectOut{rel: acc, resultCols: unionCols, resultNames: head.resultNames}
+	// ORDER BY: names of the union's output columns only.
+	for _, oi := range sel.OrderBy {
+		cr, ok := oi.Expr.(*sql.ColRef)
+		if !ok || cr.Table != "" {
+			return nil, fmt.Errorf("logical: ORDER BY on a UNION must name an output column")
+		}
+		found := ColumnID(0)
+		for i, n := range head.resultNames {
+			if equalFold(n, cr.Name) {
+				found = unionCols[i]
+				break
+			}
+		}
+		if found == 0 {
+			return nil, fmt.Errorf("logical: unknown ORDER BY column %q in UNION", cr.Name)
+		}
+		out.ordering = append(out.ordering, OrderSpec{Col: found, Desc: oi.Desc})
+	}
+	if sel.Limit != nil {
+		out.rel = &Limit{Input: out.rel, N: *sel.Limit}
+	}
+	return out, nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// expandGroupingSets lowers GROUP BY CUBE/ROLLUP into a UNION ALL of plain
+// group-bys, replacing the grouping columns excluded from each set with NULL
+// in the select list, HAVING and ORDER BY (outside aggregate arguments).
+func expandGroupingSets(sel *sql.SelectStmt) (*sql.SelectStmt, error) {
+	k := len(sel.GroupBy)
+	if k == 0 {
+		return nil, fmt.Errorf("logical: CUBE/ROLLUP requires grouping columns")
+	}
+	if sel.Grouping == sql.GroupCube && k > 8 {
+		return nil, fmt.Errorf("logical: CUBE over %d columns expands to %d sets; max 8 columns", k, 1<<uint(k))
+	}
+	var sets [][]sql.Expr
+	switch sel.Grouping {
+	case sql.GroupCube:
+		for mask := (1 << uint(k)) - 1; mask >= 0; mask-- {
+			var set []sql.Expr
+			for i := 0; i < k; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					set = append(set, sel.GroupBy[i])
+				}
+			}
+			sets = append(sets, set)
+		}
+	case sql.GroupRollup:
+		for n := k; n >= 0; n-- {
+			sets = append(sets, append([]sql.Expr{}, sel.GroupBy[:n]...))
+		}
+	default:
+		return nil, fmt.Errorf("logical: unexpected grouping mode")
+	}
+
+	arms := make([]*sql.SelectStmt, len(sets))
+	for si, set := range sets {
+		included := map[string]bool{}
+		for _, e := range set {
+			included[e.String()] = true
+		}
+		arm := *sel
+		arm.Grouping = sql.GroupPlain
+		arm.GroupBy = set
+		arm.Union = nil
+		arm.OrderBy = nil
+		arm.Limit = nil
+		arm.Select = make([]sql.SelectItem, len(sel.Select))
+		for i, it := range sel.Select {
+			ni := it
+			if it.Expr != nil {
+				ni.Expr = nullOutExcluded(it.Expr, sel.GroupBy, included)
+				if ni.Alias == "" {
+					ni.Alias = displayName(it.Expr)
+				}
+			}
+			arm.Select[i] = ni
+		}
+		if sel.Having != nil {
+			arm.Having = nullOutExcluded(sel.Having, sel.GroupBy, included)
+		}
+		arms[si] = &arm
+	}
+	top := arms[0]
+	for _, arm := range arms[1:] {
+		top.Union = append(top.Union, sql.UnionArm{All: true, Stmt: arm})
+	}
+	top.OrderBy = sel.OrderBy
+	top.Limit = sel.Limit
+	return top, nil
+}
+
+// nullOutExcluded replaces references to grouping expressions that are not in
+// the current grouping set with NULL, without descending into aggregate
+// arguments.
+func nullOutExcluded(e sql.Expr, groupBy []sql.Expr, included map[string]bool) sql.Expr {
+	excluded := map[string]bool{}
+	for _, g := range groupBy {
+		if !included[g.String()] {
+			excluded[g.String()] = true
+		}
+	}
+	var walk func(e sql.Expr) sql.Expr
+	walk = func(e sql.Expr) sql.Expr {
+		if e == nil {
+			return nil
+		}
+		if excluded[e.String()] {
+			return &sql.Lit{Val: datum.Null}
+		}
+		switch t := e.(type) {
+		case *sql.FuncCall:
+			if t.IsAggregate() {
+				return t // aggregate args keep their references
+			}
+			cp := *t
+			cp.Args = make([]sql.Expr, len(t.Args))
+			for i, a := range t.Args {
+				cp.Args[i] = walk(a)
+			}
+			return &cp
+		case *sql.BinExpr:
+			return &sql.BinExpr{Op: t.Op, L: walk(t.L), R: walk(t.R)}
+		case *sql.NotExpr:
+			return &sql.NotExpr{E: walk(t.E)}
+		case *sql.NegExpr:
+			return &sql.NegExpr{E: walk(t.E)}
+		case *sql.IsNullExpr:
+			return &sql.IsNullExpr{E: walk(t.E), Negated: t.Negated}
+		case *sql.BetweenExpr:
+			return &sql.BetweenExpr{E: walk(t.E), Lo: walk(t.Lo), Hi: walk(t.Hi), Negated: t.Negated}
+		}
+		return e
+	}
+	return walk(e)
+}

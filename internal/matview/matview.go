@@ -1,0 +1,267 @@
+// Package matview implements answering queries using materialized views
+// (§7.3 of the paper). Matching is restricted — as the literature the paper
+// cites is — to single-block SPJ and SPJ+GROUP BY queries and views without
+// self-joins: a view V is usable for query Q when V's tables and predicates
+// are a subset of Q's, every column Q still needs is available from V's
+// output, and (for aggregate views) Q's grouping is equal to or coarser than
+// V's with re-aggregatable functions. The rewrite substitutes the view's
+// backing table for the covered part of the query; the optimizer then costs
+// original and rewritten forms together.
+package matview
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/sql"
+)
+
+// blockInfo is the canonical single-block decomposition of a query: leaf
+// tables keyed by lower-cased table name, predicates keyed by a canonical
+// (binding-independent) rendering, and the optional top aggregation.
+type blockInfo struct {
+	query *logical.Query
+	// scans by canonical table name (self-joins are rejected).
+	scans map[string]*logical.Scan
+	// preds: canonical string → original scalar.
+	preds map[string]logical.Scalar
+	// group is the top GroupBy, if the block aggregates.
+	group *logical.GroupBy
+	// project is the top projection (above group, if any).
+	project *logical.Project
+	// canonical column naming: ColumnID → "table.col".
+	colName map[logical.ColumnID]string
+	// blockRoot is the node the join block hangs from.
+	blockRoot logical.RelExpr
+}
+
+// analyze decomposes a built, normalized query into blockInfo; ok is false
+// when the query does not fit the supported shape.
+func analyze(q *logical.Query) (*blockInfo, bool) {
+	info := &blockInfo{
+		query:   q,
+		scans:   map[string]*logical.Scan{},
+		preds:   map[string]logical.Scalar{},
+		colName: map[logical.ColumnID]string{},
+	}
+	e := q.Root
+	if lim, ok := e.(*logical.Limit); ok {
+		e = lim.Input // limit handled above the rewrite
+		return nil, false
+	}
+	if p, ok := e.(*logical.Project); ok {
+		info.project = p
+		e = p.Input
+	}
+	if g, ok := e.(*logical.GroupBy); ok {
+		info.group = g
+		e = g.Input
+	}
+	info.blockRoot = e
+	leaves, preds, ok := logical.ExtractJoinBlock(e)
+	if !ok {
+		return nil, false
+	}
+	for _, leaf := range leaves {
+		scan, isScan := leaf.(*logical.Scan)
+		if !isScan {
+			return nil, false
+		}
+		key := strings.ToLower(scan.Table.Name)
+		if _, dup := info.scans[key]; dup {
+			return nil, false // self-join: canonical naming would be ambiguous
+		}
+		info.scans[key] = scan
+		for _, id := range scan.Cols {
+			cm := q.Meta.Column(id)
+			info.colName[id] = strings.ToLower(scan.Table.Name + "." + cm.Name)
+		}
+	}
+	for _, p := range preds {
+		if logical.HasSubquery(p) {
+			return nil, false
+		}
+		key, ok := canonicalPred(p, info.colName)
+		if !ok {
+			return nil, false
+		}
+		info.preds[key] = p
+	}
+	return info, true
+}
+
+// canonicalPred renders a predicate with table-qualified column names,
+// normalizing commutative comparisons so "a = b" and "b = a" match.
+func canonicalPred(p logical.Scalar, names map[logical.ColumnID]string) (string, bool) {
+	ok := true
+	var render func(s logical.Scalar) string
+	render = func(s logical.Scalar) string {
+		switch t := s.(type) {
+		case *logical.Col:
+			n, found := names[t.ID]
+			if !found {
+				ok = false
+				return "?"
+			}
+			return n
+		case *logical.Const:
+			return t.Val.String()
+		case *logical.Cmp:
+			l, r := render(t.L), render(t.R)
+			op := t.Op
+			if op == logical.CmpEq || op == logical.CmpNe {
+				if l > r {
+					l, r = r, l
+				}
+			} else if l > r && t.Op != logical.CmpLike {
+				l, r = r, l
+				op = t.Op.Commute()
+			}
+			return fmt.Sprintf("(%s %s %s)", l, op, r)
+		case *logical.And:
+			return fmt.Sprintf("(%s AND %s)", render(t.L), render(t.R))
+		case *logical.Or:
+			return fmt.Sprintf("(%s OR %s)", render(t.L), render(t.R))
+		case *logical.Not:
+			return "NOT " + render(t.E)
+		case *logical.IsNull:
+			if t.Negated {
+				return render(t.E) + " IS NOT NULL"
+			}
+			return render(t.E) + " IS NULL"
+		case *logical.Arith:
+			return fmt.Sprintf("(%s %s %s)", render(t.L), t.Op, render(t.R))
+		case *logical.InList:
+			var items []string
+			for _, e := range t.List {
+				items = append(items, render(e))
+			}
+			neg := ""
+			if t.Negated {
+				neg = "NOT "
+			}
+			return fmt.Sprintf("(%s %sIN (%s))", render(t.E), neg, strings.Join(items, ","))
+		default:
+			ok = false
+			return "?"
+		}
+	}
+	s := render(p)
+	return s, ok
+}
+
+// Rewritten is one alternative query form using a materialized view.
+type Rewritten struct {
+	MV    *catalog.MaterializedView
+	Query *logical.Query
+}
+
+// RewriteWithViews returns every safe rewriting of the query using the
+// catalog's materialized views. The input query must be built and normalized;
+// it is not modified.
+func RewriteWithViews(q *logical.Query, cat *catalog.Catalog) []Rewritten {
+	qInfo, ok := analyze(q)
+	if !ok {
+		return nil
+	}
+	var out []Rewritten
+	for _, mv := range cat.MaterializedViews() {
+		if mv.Table == nil {
+			continue
+		}
+		vSel, err := sql.ParseSelect(mv.SQL)
+		if err != nil {
+			continue
+		}
+		vq, err := logical.NewBuilder(cat).Build(vSel)
+		if err != nil {
+			continue
+		}
+		logical.NormalizeQuery(vq, logical.DefaultNormalize())
+		vInfo, ok := analyze(vq)
+		if !ok {
+			continue
+		}
+		if rw, ok := tryRewrite(qInfo, vInfo, mv); ok {
+			out = append(out, Rewritten{MV: mv, Query: rw})
+		}
+	}
+	return out
+}
+
+// viewOutput maps canonical expressions the view exposes to the backing
+// table ordinal: plain columns "t.c", and (for aggregate views) group
+// columns and aggregate expressions like "sum(t.c)".
+func viewOutput(v *blockInfo) (map[string]int, bool) {
+	out := map[string]int{}
+	// An identity projection may have been normalized away; the query's
+	// declared result columns define the backing table's layout either way.
+	items := make([]logical.ProjectItem, 0, len(v.query.ResultCols))
+	if v.project != nil {
+		items = v.project.Items
+	} else {
+		for _, id := range v.query.ResultCols {
+			items = append(items, logical.ProjectItem{ID: id, Expr: &logical.Col{ID: id}})
+		}
+	}
+	for i, it := range items {
+		switch e := it.Expr.(type) {
+		case *logical.Col:
+			if v.group != nil {
+				// Either a group column or an aggregate output.
+				if name, ok := v.colName[e.ID]; ok {
+					out[name] = i
+					continue
+				}
+				if agg := findAgg(v.group, e.ID); agg != nil {
+					key, ok := aggKey(agg, v.colName)
+					if !ok {
+						return nil, false
+					}
+					out[key] = i
+					continue
+				}
+				return nil, false
+			}
+			name, ok := v.colName[e.ID]
+			if !ok {
+				return nil, false
+			}
+			out[name] = i
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func findAgg(g *logical.GroupBy, id logical.ColumnID) *logical.AggItem {
+	for i := range g.Aggs {
+		if g.Aggs[i].ID == id {
+			return &g.Aggs[i]
+		}
+	}
+	return nil
+}
+
+func aggKey(a *logical.AggItem, names map[logical.ColumnID]string) (string, bool) {
+	arg := "*"
+	if a.Arg != nil {
+		c, ok := a.Arg.(*logical.Col)
+		if !ok {
+			return "", false
+		}
+		n, ok := names[c.ID]
+		if !ok {
+			return "", false
+		}
+		arg = n
+	}
+	d := ""
+	if a.Distinct {
+		d = "distinct "
+	}
+	return fmt.Sprintf("%s(%s%s)", a.Fn, d, arg), true
+}

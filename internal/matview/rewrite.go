@@ -1,0 +1,279 @@
+package matview
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+)
+
+// tryRewrite checks containment and builds the substituted query.
+func tryRewrite(q, v *blockInfo, mv *catalog.MaterializedView) (*logical.Query, bool) {
+	// V's tables and predicates must be contained in Q's.
+	for name := range v.scans {
+		if _, ok := q.scans[name]; !ok {
+			return nil, false
+		}
+	}
+	for key := range v.preds {
+		if _, ok := q.preds[key]; !ok {
+			return nil, false
+		}
+	}
+	viewOut, ok := viewOutput(v)
+	if !ok {
+		return nil, false
+	}
+	if v.group == nil {
+		return rewriteSPJ(q, v, mv, viewOut)
+	}
+	return rewriteAgg(q, v, mv, viewOut)
+}
+
+// usedCols collects every column the query references above the join block.
+func usedCols(q *blockInfo) logical.ColSet {
+	var used logical.ColSet
+	for _, id := range q.query.ResultCols {
+		used.Add(id)
+	}
+	for _, o := range q.query.OrderBy {
+		used.Add(o.Col)
+	}
+	if q.project != nil {
+		for _, it := range q.project.Items {
+			used = used.Union(logical.ScalarCols(it.Expr))
+		}
+	}
+	if q.group != nil {
+		for _, c := range q.group.GroupCols {
+			used.Add(c)
+		}
+		for _, a := range q.group.Aggs {
+			if a.Arg != nil {
+				used = used.Union(logical.ScalarCols(a.Arg))
+			}
+		}
+	}
+	return used
+}
+
+// rewriteSPJ substitutes an SPJ view: the view's backing table replaces the
+// covered tables; uncovered tables keep joining; predicates the view already
+// applied disappear.
+func rewriteSPJ(q, v *blockInfo, mv *catalog.MaterializedView, viewOut map[string]int) (*logical.Query, bool) {
+	meta := q.query.Meta
+	binding := "mv_" + strings.ToLower(mv.Name)
+	mvCols := meta.AddTable(mv.Table, binding)
+	mvScan := &logical.Scan{Table: mv.Table, Binding: binding, Cols: mvCols}
+
+	// Map covered base columns to backing-table columns.
+	mapping := map[logical.ColumnID]logical.ColumnID{}
+	coveredCols := logical.ColSet{}
+	for name, scan := range q.scans {
+		if _, covered := v.scans[name]; !covered {
+			continue
+		}
+		for _, id := range scan.Cols {
+			coveredCols.Add(id)
+			if ord, ok := viewOut[q.colName[id]]; ok {
+				mapping[id] = mvCols[ord]
+			}
+		}
+	}
+
+	// Remaining predicates (not absorbed by the view).
+	var remaining []logical.Scalar
+	remainingUsed := logical.ColSet{}
+	for key, p := range q.preds {
+		if _, inV := v.preds[key]; inV {
+			continue
+		}
+		remaining = append(remaining, p)
+		remainingUsed = remainingUsed.Union(logical.ScalarCols(p))
+	}
+
+	// Every covered column still referenced must be exposed by the view.
+	needed := usedCols(q).Union(remainingUsed).Intersect(coveredCols)
+	okAll := true
+	needed.ForEach(func(c logical.ColumnID) {
+		if _, ok := mapping[c]; !ok {
+			okAll = false
+		}
+	})
+	if !okAll {
+		return nil, false
+	}
+
+	// Rebuild the block: view scan joined with uncovered tables.
+	var tree logical.RelExpr = mvScan
+	for name, scan := range q.scans {
+		if _, covered := v.scans[name]; covered {
+			continue
+		}
+		tree = &logical.Join{Kind: logical.InnerJoin, Left: tree, Right: scan}
+	}
+	if len(remaining) > 0 {
+		tree = &logical.Select{Input: tree, Filters: remaining}
+	}
+	if q.group != nil {
+		tree = &logical.GroupBy{Input: tree, GroupCols: q.group.GroupCols, Aggs: q.group.Aggs}
+	}
+	if q.project != nil {
+		tree = &logical.Project{Input: tree, Items: q.project.Items}
+	}
+	return finish(q, tree, mapping)
+}
+
+// rewriteAgg substitutes an aggregate view: exact grouping reads the view
+// directly; coarser grouping re-aggregates (SUM of partial counts/sums,
+// MIN/MAX of partial extremes).
+func rewriteAgg(q, v *blockInfo, mv *catalog.MaterializedView, viewOut map[string]int) (*logical.Query, bool) {
+	if q.group == nil {
+		return nil, false
+	}
+	// Tables must match exactly: an extra query table would need a join
+	// below the view's aggregation.
+	if len(q.scans) != len(v.scans) {
+		return nil, false
+	}
+	meta := q.query.Meta
+	binding := "mv_" + strings.ToLower(mv.Name)
+	mvCols := meta.AddTable(mv.Table, binding)
+	mvScan := &logical.Scan{Table: mv.Table, Binding: binding, Cols: mvCols}
+
+	mapping := map[logical.ColumnID]logical.ColumnID{}
+	// Group columns must be exposed plainly.
+	var qGroupNames, vGroupNames []string
+	for _, c := range q.group.GroupCols {
+		name, ok := q.colName[c]
+		if !ok {
+			return nil, false
+		}
+		ord, ok := viewOut[name]
+		if !ok {
+			return nil, false
+		}
+		mapping[c] = mvCols[ord]
+		qGroupNames = append(qGroupNames, name)
+	}
+	for _, c := range v.group.GroupCols {
+		name, ok := v.colName[c]
+		if !ok {
+			return nil, false
+		}
+		vGroupNames = append(vGroupNames, name)
+	}
+	exact := len(qGroupNames) == len(vGroupNames) && subset(qGroupNames, vGroupNames) && subset(vGroupNames, qGroupNames)
+
+	// Extra query predicates must be expressible over exposed columns.
+	var remaining []logical.Scalar
+	for key, p := range q.preds {
+		if _, inV := v.preds[key]; inV {
+			continue
+		}
+		okCols := true
+		logical.ScalarCols(p).ForEach(func(c logical.ColumnID) {
+			if _, ok := mapping[c]; !ok {
+				if name, has := q.colName[c]; has {
+					if ord, exp := viewOut[name]; exp {
+						mapping[c] = mvCols[ord]
+						return
+					}
+				}
+				okCols = false
+			}
+		})
+		if !okCols {
+			return nil, false
+		}
+		remaining = append(remaining, p)
+	}
+
+	var tree logical.RelExpr = mvScan
+	if len(remaining) > 0 {
+		tree = &logical.Select{Input: tree, Filters: remaining}
+	}
+	if exact {
+		// Aggregate outputs map directly to view columns.
+		for i := range q.group.Aggs {
+			a := &q.group.Aggs[i]
+			key, ok := aggKey(a, q.colName)
+			if !ok {
+				return nil, false
+			}
+			ord, ok := viewOut[key]
+			if !ok {
+				return nil, false
+			}
+			mapping[a.ID] = mvCols[ord]
+		}
+	} else {
+		// Rollup: combine partial aggregates.
+		var combined []logical.AggItem
+		for i := range q.group.Aggs {
+			a := &q.group.Aggs[i]
+			if a.Distinct {
+				return nil, false
+			}
+			key, ok := aggKey(a, q.colName)
+			if !ok {
+				return nil, false
+			}
+			ord, ok := viewOut[key]
+			if !ok {
+				return nil, false
+			}
+			fn := a.Fn
+			switch a.Fn {
+			case logical.AggCount:
+				fn = logical.AggSum
+			case logical.AggSum, logical.AggMin, logical.AggMax:
+			default:
+				return nil, false // AVG needs exact grouping
+			}
+			combined = append(combined, logical.AggItem{ID: a.ID, Fn: fn, Arg: &logical.Col{ID: mvCols[ord]}})
+		}
+		tree = &logical.GroupBy{Input: tree, GroupCols: q.group.GroupCols, Aggs: combined}
+	}
+	if q.project != nil {
+		tree = &logical.Project{Input: tree, Items: q.project.Items}
+	}
+	return finish(q, tree, mapping)
+}
+
+func subset(a, b []string) bool {
+	set := map[string]bool{}
+	for _, s := range b {
+		set[s] = true
+	}
+	for _, s := range a {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// finish remaps and assembles the rewritten query.
+func finish(q *blockInfo, tree logical.RelExpr, mapping map[logical.ColumnID]logical.ColumnID) (*logical.Query, bool) {
+	tree = logical.RemapRel(tree, mapping)
+	remapID := func(id logical.ColumnID) logical.ColumnID {
+		if to, ok := mapping[id]; ok {
+			return to
+		}
+		return id
+	}
+	nq := &logical.Query{
+		Meta:     q.query.Meta,
+		Root:     tree,
+		ColNames: q.query.ColNames,
+	}
+	for _, id := range q.query.ResultCols {
+		nq.ResultCols = append(nq.ResultCols, remapID(id))
+	}
+	for _, o := range q.query.OrderBy {
+		nq.OrderBy = append(nq.OrderBy, logical.OrderSpec{Col: remapID(o.Col), Desc: o.Desc})
+	}
+	logical.NormalizeQuery(nq, logical.DefaultNormalize())
+	return nq, true
+}

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/stats"
+	"repro/internal/systemr"
+)
+
+// Strategy selects how the serial plan (phase one) is chosen.
+type Strategy uint8
+
+const (
+	// XPRS picks the serial plan with the best *serial* cost and only then
+	// parallelizes — Hong/Stonebraker's two-phase approach, which ignores
+	// communication in phase one.
+	XPRS Strategy = iota
+	// CommAware evaluates serial candidates by their *parallel* response
+	// time, folding repartitioning costs into the choice — Hasan's
+	// refinement.
+	CommAware
+)
+
+func (s Strategy) String() string {
+	if s == XPRS {
+		return "XPRS"
+	}
+	return "comm-aware"
+}
+
+// TwoPhaseResult reports the chosen plan of a two-phase optimization.
+type TwoPhaseResult struct {
+	Strategy Strategy
+	Serial   physical.Plan
+	Parallel *Result
+	// Candidates is the number of serial plans considered in phase one.
+	Candidates int
+}
+
+// candidateOptions enumerates serial-plan alternatives by toggling optimizer
+// knobs — a pragmatic stand-in for a full plan-diversity enumeration.
+func candidateOptions() []systemr.Options {
+	base := systemr.DefaultOptions()
+	bushy := base
+	bushy.Bushy = true
+	noHash := base
+	noHash.DisableHashJoin = true
+	noMerge := base
+	noMerge.DisableMergeJoin = true
+	noINL := base
+	noINL.DisableINLJoin = true
+	// Index-nested-loop-only plans probe shared indexes locally and need no
+	// repartitioning exchanges — the exchange-free alternative a comm-aware
+	// phase one can prefer.
+	inlOnly := base
+	inlOnly.DisableHashJoin = true
+	inlOnly.DisableMergeJoin = true
+	return []systemr.Options{base, bushy, noHash, noMerge, noINL, inlOnly}
+}
+
+// Optimize runs two-phase optimization for the query under the strategy.
+func Optimize(q *logical.Query, est func() *stats.Estimator, model cost.Model, cfg Config, strategy Strategy) (*TwoPhaseResult, error) {
+	res := &TwoPhaseResult{Strategy: strategy}
+	bestScore := math.Inf(1)
+	for _, opts := range candidateOptions() {
+		opt := systemr.New(est(), model, opts)
+		serial, err := opt.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates++
+		par := Parallelize(serial, cfg, model)
+		var score float64
+		if strategy == XPRS {
+			_, score = serial.Estimate() // serial cost only
+		} else {
+			score = par.ResponseTime
+		}
+		if score < bestScore {
+			bestScore = score
+			res.Serial = serial
+			res.Parallel = par
+		}
+	}
+	return res, nil
+}

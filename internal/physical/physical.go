@@ -1,0 +1,518 @@
+// Package physical defines physical operator trees — the execution plans of
+// Figure 1 of the paper. Each node fixes a concrete output column layout, an
+// estimated cardinality and a cumulative estimated cost, and declares the
+// ordering (physical property, §3) its output provides.
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/logical"
+)
+
+// Plan is a physical operator tree node.
+type Plan interface {
+	phys()
+	// Columns returns the output layout: column IDs in row order.
+	Columns() []logical.ColumnID
+	// Ordering returns the ordering the output is guaranteed to have.
+	Ordering() logical.Ordering
+	// Estimate returns (cardinality, cumulative cost).
+	Estimate() (rows, cost float64)
+}
+
+// Props carries the estimates every node stores.
+type Props struct {
+	Rows float64 // estimated output cardinality
+	Cost float64 // estimated cumulative cost of the subtree
+}
+
+// Estimate implements part of Plan.
+func (p Props) Estimate() (float64, float64) { return p.Rows, p.Cost }
+
+// TableScan reads a heap sequentially.
+type TableScan struct {
+	Props
+	Table   *catalog.Table
+	Binding string
+	Cols    []logical.ColumnID // layout; parallel to ColOrds
+	ColOrds []int              // base-table ordinals for each output column
+	// Filter is applied during the scan (pushed-down predicates).
+	Filter []logical.Scalar
+}
+
+func (*TableScan) phys() {}
+
+// Columns returns the scan layout.
+func (t *TableScan) Columns() []logical.ColumnID { return t.Cols }
+
+// Ordering: a heap scan provides the clustered index order if one exists.
+func (t *TableScan) Ordering() logical.Ordering {
+	ci := t.Table.ClusteredIndex()
+	if ci == nil {
+		return nil
+	}
+	var ord logical.Ordering
+	for _, baseOrd := range ci.Cols {
+		id, ok := t.colForOrd(baseOrd)
+		if !ok {
+			return ord
+		}
+		ord = append(ord, logical.OrderSpec{Col: id})
+	}
+	return ord
+}
+
+func (t *TableScan) colForOrd(ord int) (logical.ColumnID, bool) {
+	for i, o := range t.ColOrds {
+		if o == ord {
+			return t.Cols[i], true
+		}
+	}
+	return 0, false
+}
+
+// IndexScan seeks/scans an index and fetches matching rows.
+type IndexScan struct {
+	Props
+	Table   *catalog.Table
+	Index   *catalog.Index
+	Binding string
+	Cols    []logical.ColumnID
+	ColOrds []int
+	// EqKey, when non-nil, restricts the leading index column(s) to these
+	// constant values.
+	EqKey datum.Row
+	// Lo/Hi bound the column after the equality prefix (or the leading
+	// column when EqKey is empty); NULL means unbounded.
+	Lo, Hi         datum.D
+	LoIncl, HiIncl bool
+	// Filter holds residual predicates evaluated after the fetch.
+	Filter []logical.Scalar
+}
+
+func (*IndexScan) phys() {}
+
+// Columns returns the output layout.
+func (i *IndexScan) Columns() []logical.ColumnID { return i.Cols }
+
+// Ordering: index order on the index columns (ascending).
+func (i *IndexScan) Ordering() logical.Ordering {
+	var ord logical.Ordering
+	for _, baseOrd := range i.Index.Cols {
+		id, ok := i.colForOrd(baseOrd)
+		if !ok {
+			return ord
+		}
+		ord = append(ord, logical.OrderSpec{Col: id})
+	}
+	return ord
+}
+
+func (i *IndexScan) colForOrd(ord int) (logical.ColumnID, bool) {
+	for j, o := range i.ColOrds {
+		if o == ord {
+			return i.Cols[j], true
+		}
+	}
+	return 0, false
+}
+
+// ValuesOp produces literal rows.
+type ValuesOp struct {
+	Props
+	Cols []logical.ColumnID
+	Rows [][]logical.Scalar
+}
+
+func (*ValuesOp) phys() {}
+
+// Columns returns the layout.
+func (v *ValuesOp) Columns() []logical.ColumnID { return v.Cols }
+
+// Ordering of literal rows is unspecified.
+func (v *ValuesOp) Ordering() logical.Ordering { return nil }
+
+// Filter drops rows failing its predicates.
+type Filter struct {
+	Props
+	Input Plan
+	Preds []logical.Scalar
+}
+
+func (*Filter) phys() {}
+
+// Columns passes through the input layout.
+func (f *Filter) Columns() []logical.ColumnID { return f.Input.Columns() }
+
+// Ordering passes through.
+func (f *Filter) Ordering() logical.Ordering { return f.Input.Ordering() }
+
+// Project computes a new layout.
+type Project struct {
+	Props
+	Input Plan
+	Items []logical.ProjectItem
+}
+
+func (*Project) phys() {}
+
+// Columns returns the projected layout.
+func (p *Project) Columns() []logical.ColumnID {
+	out := make([]logical.ColumnID, len(p.Items))
+	for i, it := range p.Items {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// Ordering is preserved for the passthrough prefix of the input ordering.
+func (p *Project) Ordering() logical.Ordering {
+	in := p.Input.Ordering()
+	keep := map[logical.ColumnID]bool{}
+	for _, it := range p.Items {
+		if c, ok := it.Expr.(*logical.Col); ok && c.ID == it.ID {
+			keep[it.ID] = true
+		}
+	}
+	var out logical.Ordering
+	for _, s := range in {
+		if !keep[s.Col] {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Sort orders its input — the enforcer operator of §6.2.
+type Sort struct {
+	Props
+	Input Plan
+	By    logical.Ordering
+}
+
+func (*Sort) phys() {}
+
+// Columns passes through.
+func (s *Sort) Columns() []logical.ColumnID { return s.Input.Columns() }
+
+// Ordering is exactly the sort key.
+func (s *Sort) Ordering() logical.Ordering { return s.By }
+
+// JoinSide layouts combine left then right for right-preserving kinds.
+func joinColumns(kind logical.JoinKind, left, right Plan) []logical.ColumnID {
+	cols := append([]logical.ColumnID{}, left.Columns()...)
+	if kind.PreservesRight() {
+		cols = append(cols, right.Columns()...)
+	}
+	return cols
+}
+
+// NLJoin is the (block) nested-loop join.
+type NLJoin struct {
+	Props
+	Kind  logical.JoinKind
+	Left  Plan
+	Right Plan
+	On    []logical.Scalar
+}
+
+func (*NLJoin) phys() {}
+
+// Columns is left ⧺ right (kind permitting).
+func (j *NLJoin) Columns() []logical.ColumnID { return joinColumns(j.Kind, j.Left, j.Right) }
+
+// Ordering: the outer (left) input's order survives.
+func (j *NLJoin) Ordering() logical.Ordering { return j.Left.Ordering() }
+
+// INLJoin is the index nested-loop join: for each outer row, seek the inner
+// table's index with the outer key.
+type INLJoin struct {
+	Props
+	Kind  logical.JoinKind
+	Left  Plan
+	Table *catalog.Table
+	Index *catalog.Index
+	// Binding and Cols/ColOrds describe the inner occurrence layout.
+	Binding string
+	Cols    []logical.ColumnID
+	ColOrds []int
+	// LeftKeys are outer columns equated with the index's leading columns.
+	LeftKeys []logical.ColumnID
+	// ExtraOn holds residual join predicates.
+	ExtraOn []logical.Scalar
+}
+
+func (*INLJoin) phys() {}
+
+// Columns is left ⧺ inner columns (kind permitting).
+func (j *INLJoin) Columns() []logical.ColumnID {
+	cols := append([]logical.ColumnID{}, j.Left.Columns()...)
+	if j.Kind.PreservesRight() {
+		cols = append(cols, j.Cols...)
+	}
+	return cols
+}
+
+// Ordering: outer order survives.
+func (j *INLJoin) Ordering() logical.Ordering { return j.Left.Ordering() }
+
+// MergeJoin joins two inputs sorted on their keys.
+type MergeJoin struct {
+	Props
+	Kind      logical.JoinKind
+	Left      Plan
+	Right     Plan
+	LeftKeys  []logical.ColumnID
+	RightKeys []logical.ColumnID
+	ExtraOn   []logical.Scalar
+}
+
+func (*MergeJoin) phys() {}
+
+// Columns is left ⧺ right (kind permitting).
+func (j *MergeJoin) Columns() []logical.ColumnID { return joinColumns(j.Kind, j.Left, j.Right) }
+
+// Ordering: merge output is ordered on the left keys.
+func (j *MergeJoin) Ordering() logical.Ordering {
+	var out logical.Ordering
+	for _, k := range j.LeftKeys {
+		out = append(out, logical.OrderSpec{Col: k})
+	}
+	return out
+}
+
+// HashJoin builds a hash table on the right input.
+type HashJoin struct {
+	Props
+	Kind      logical.JoinKind
+	Left      Plan
+	Right     Plan
+	LeftKeys  []logical.ColumnID
+	RightKeys []logical.ColumnID
+	ExtraOn   []logical.Scalar
+}
+
+func (*HashJoin) phys() {}
+
+// Columns is left ⧺ right (kind permitting).
+func (j *HashJoin) Columns() []logical.ColumnID { return joinColumns(j.Kind, j.Left, j.Right) }
+
+// Ordering: probe-side order survives (streaming probe).
+func (j *HashJoin) Ordering() logical.Ordering { return j.Left.Ordering() }
+
+// HashGroupBy aggregates with a hash table (no input order required).
+type HashGroupBy struct {
+	Props
+	Input     Plan
+	GroupCols []logical.ColumnID
+	Aggs      []logical.AggItem
+}
+
+func (*HashGroupBy) phys() {}
+
+// Columns: group columns then aggregates.
+func (g *HashGroupBy) Columns() []logical.ColumnID {
+	out := append([]logical.ColumnID{}, g.GroupCols...)
+	for _, a := range g.Aggs {
+		out = append(out, a.ID)
+	}
+	return out
+}
+
+// Ordering: hash output is unordered.
+func (g *HashGroupBy) Ordering() logical.Ordering { return nil }
+
+// StreamGroupBy aggregates an input already sorted on the group columns.
+type StreamGroupBy struct {
+	Props
+	Input     Plan
+	GroupCols []logical.ColumnID
+	Aggs      []logical.AggItem
+}
+
+func (*StreamGroupBy) phys() {}
+
+// Columns: group columns then aggregates.
+func (g *StreamGroupBy) Columns() []logical.ColumnID {
+	out := append([]logical.ColumnID{}, g.GroupCols...)
+	for _, a := range g.Aggs {
+		out = append(out, a.ID)
+	}
+	return out
+}
+
+// Ordering: output stays ordered on the group columns.
+func (g *StreamGroupBy) Ordering() logical.Ordering {
+	var out logical.Ordering
+	for _, c := range g.GroupCols {
+		out = append(out, logical.OrderSpec{Col: c})
+	}
+	return out
+}
+
+// LimitOp returns the first N rows.
+type LimitOp struct {
+	Props
+	Input Plan
+	N     int64
+}
+
+func (*LimitOp) phys() {}
+
+// Columns passes through.
+func (l *LimitOp) Columns() []logical.ColumnID { return l.Input.Columns() }
+
+// Ordering passes through.
+func (l *LimitOp) Ordering() logical.Ordering { return l.Input.Ordering() }
+
+// UnionAll concatenates two aligned inputs.
+type UnionAll struct {
+	Props
+	Left, Right         Plan
+	LeftCols, RightCols []logical.ColumnID
+	Cols                []logical.ColumnID
+}
+
+func (*UnionAll) phys() {}
+
+// Columns returns the union layout.
+func (u *UnionAll) Columns() []logical.ColumnID { return u.Cols }
+
+// Ordering: concatenation destroys order.
+func (u *UnionAll) Ordering() logical.Ordering { return nil }
+
+// Exchange models a parallel repartitioning boundary (§7.1): its input runs
+// partitioned Degree ways on PartitionCols and is re-merged or re-hashed.
+type Exchange struct {
+	Props
+	Input Plan
+	// PartitionCols is the hash-partitioning key (empty = round robin).
+	PartitionCols []logical.ColumnID
+	Degree        int
+	// MergeOrdering, when set, merges sorted streams preserving the order.
+	MergeOrdering logical.Ordering
+}
+
+func (*Exchange) phys() {}
+
+// Columns passes through.
+func (e *Exchange) Columns() []logical.ColumnID { return e.Input.Columns() }
+
+// Ordering: only preserved when merging sorted streams.
+func (e *Exchange) Ordering() logical.Ordering { return e.MergeOrdering }
+
+// Children returns the plan children of p.
+func Children(p Plan) []Plan {
+	switch t := p.(type) {
+	case *TableScan, *IndexScan, *ValuesOp:
+		return nil
+	case *Filter:
+		return []Plan{t.Input}
+	case *Project:
+		return []Plan{t.Input}
+	case *Sort:
+		return []Plan{t.Input}
+	case *NLJoin:
+		return []Plan{t.Left, t.Right}
+	case *INLJoin:
+		return []Plan{t.Left}
+	case *MergeJoin:
+		return []Plan{t.Left, t.Right}
+	case *HashJoin:
+		return []Plan{t.Left, t.Right}
+	case *HashGroupBy:
+		return []Plan{t.Input}
+	case *StreamGroupBy:
+		return []Plan{t.Input}
+	case *LimitOp:
+		return []Plan{t.Input}
+	case *Exchange:
+		return []Plan{t.Input}
+	case *UnionAll:
+		return []Plan{t.Left, t.Right}
+	}
+	panic(fmt.Sprintf("physical: unknown plan %T", p))
+}
+
+// Format renders the plan tree for EXPLAIN output.
+func Format(p Plan, md *logical.Metadata) string {
+	var sb strings.Builder
+	formatPlan(&sb, p, md, 0)
+	return sb.String()
+}
+
+func formatPlan(sb *strings.Builder, p Plan, md *logical.Metadata, depth int) {
+	indent := strings.Repeat("  ", depth)
+	rows, cost := p.Estimate()
+	line := describe(p, md)
+	fmt.Fprintf(sb, "%s%s  (rows=%.0f cost=%.1f)\n", indent, line, rows, cost)
+	for _, c := range Children(p) {
+		formatPlan(sb, c, md, depth+1)
+	}
+}
+
+func describe(p Plan, md *logical.Metadata) string {
+	switch t := p.(type) {
+	case *TableScan:
+		s := fmt.Sprintf("table-scan %s", t.Table.Name)
+		if len(t.Filter) > 0 {
+			s += " filter=" + formatPreds(t.Filter, md)
+		}
+		return s
+	case *IndexScan:
+		s := fmt.Sprintf("index-scan %s.%s", t.Table.Name, t.Index.Name)
+		if len(t.EqKey) > 0 {
+			s += fmt.Sprintf(" eq=%s", t.EqKey)
+		}
+		if !t.Lo.IsNull() || !t.Hi.IsNull() {
+			s += fmt.Sprintf(" range=[%s,%s]", t.Lo, t.Hi)
+		}
+		if len(t.Filter) > 0 {
+			s += " filter=" + formatPreds(t.Filter, md)
+		}
+		return s
+	case *ValuesOp:
+		return fmt.Sprintf("values (%d rows)", len(t.Rows))
+	case *Filter:
+		return "filter " + formatPreds(t.Preds, md)
+	case *Project:
+		return "project"
+	case *Sort:
+		return "sort " + t.By.String()
+	case *NLJoin:
+		return fmt.Sprintf("nested-loop-%s %s", t.Kind, formatPreds(t.On, md))
+	case *INLJoin:
+		return fmt.Sprintf("index-nl-%s %s.%s", t.Kind, t.Table.Name, t.Index.Name)
+	case *MergeJoin:
+		return fmt.Sprintf("merge-%s", t.Kind)
+	case *HashJoin:
+		return fmt.Sprintf("hash-%s", t.Kind)
+	case *HashGroupBy:
+		return "hash-group-by"
+	case *StreamGroupBy:
+		return "stream-group-by"
+	case *LimitOp:
+		return fmt.Sprintf("limit %d", t.N)
+	case *Exchange:
+		return fmt.Sprintf("exchange degree=%d", t.Degree)
+	case *UnionAll:
+		return "union-all"
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+func formatPreds(preds []logical.Scalar, md *logical.Metadata) string {
+	if len(preds) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(preds))
+	for i, f := range preds {
+		parts[i] = logical.FormatScalar(f, md)
+	}
+	return "[" + strings.Join(parts, " AND ") + "]"
+}

@@ -1,0 +1,182 @@
+package qgm
+
+import (
+	"fmt"
+
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/rewrite"
+	"repro/internal/systemr"
+)
+
+// Rule is a Starburst rewrite rule: a pair of functions — the condition
+// checks applicability, the action enforces the transformation in place and
+// reports whether it changed the query (§6.1: "rules are modeled as pairs of
+// arbitrary functions").
+type Rule struct {
+	Name      string
+	Class     string
+	Condition func(*logical.Query) bool
+	Action    func(*logical.Query) bool
+}
+
+// Engine is a forward-chaining rule engine over rule classes. Classes run in
+// order; within a class, rules fire repeatedly until a full pass changes
+// nothing or the budget is exhausted.
+type Engine struct {
+	Rules []Rule
+	// Budget caps total rule firings (one of the "knobs" §6 mentions).
+	Budget int
+}
+
+// EngineStats reports the rewrite phase's work.
+type EngineStats struct {
+	Firings     map[string]int
+	TotalFired  int
+	Passes      int
+	BudgetSpent bool
+}
+
+// Run applies the rules to the query.
+func (e *Engine) Run(q *logical.Query) EngineStats {
+	st := EngineStats{Firings: map[string]int{}}
+	budget := e.Budget
+	if budget <= 0 {
+		budget = 1000
+	}
+	// Collect class order (first appearance).
+	var classes []string
+	seen := map[string]bool{}
+	for _, r := range e.Rules {
+		if !seen[r.Class] {
+			seen[r.Class] = true
+			classes = append(classes, r.Class)
+		}
+	}
+	for _, class := range classes {
+		for pass := 0; pass < 20; pass++ {
+			st.Passes++
+			changed := false
+			for _, r := range e.Rules {
+				if r.Class != class {
+					continue
+				}
+				if st.TotalFired >= budget {
+					st.BudgetSpent = true
+					return st
+				}
+				if r.Condition != nil && !r.Condition(q) {
+					continue
+				}
+				if r.Action(q) {
+					st.Firings[r.Name]++
+					st.TotalFired++
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return st
+}
+
+// DefaultEngine wires the rewrite-phase rules in the classic Starburst
+// ordering: normalization first, then subquery merging, then cost-improving
+// heuristics (the rewrite phase has no cost information, which is exactly the
+// limitation §6.1 notes — these rules are fired heuristically).
+func DefaultEngine() *Engine {
+	hasSubquery := func(q *logical.Query) bool {
+		return logical.HasSubqueryRel(q.Root)
+	}
+	return &Engine{
+		Budget: 1000,
+		Rules: []Rule{
+			{
+				Name:  "normalize",
+				Class: "normalization",
+				Action: func(q *logical.Query) bool {
+					before := logical.Format(q.Root, q.Meta)
+					logical.NormalizeQuery(q, logical.DefaultNormalize())
+					return logical.Format(q.Root, q.Meta) != before
+				},
+			},
+			{
+				Name:      "unnest-subqueries",
+				Class:     "subquery-merge",
+				Condition: hasSubquery,
+				Action: func(q *logical.Query) bool {
+					st := rewrite.UnnestSubqueries(q)
+					return st.SemiJoins+st.AntiJoins+st.OuterJoinAggs > 0
+				},
+			},
+			{
+				Name:  "join-outerjoin-associate",
+				Class: "reorder",
+				Action: func(q *logical.Query) bool {
+					return rewrite.AssociateJoinOuterjoin(q)
+				},
+			},
+			{
+				Name:  "predicate-move-around",
+				Class: "reorder",
+				Action: func(q *logical.Query) bool {
+					return rewrite.MovePredicates(q) > 0
+				},
+			},
+			{
+				Name:  "magic-semijoin",
+				Class: "magic",
+				Action: func(q *logical.Query) bool {
+					return rewrite.ApplyMagic(q).ViewsRestricted > 0
+				},
+			},
+			{
+				Name:  "eager-groupby",
+				Class: "aggregation",
+				Action: func(q *logical.Query) bool {
+					return rewrite.PushDownGroupBy(q)
+				},
+			},
+			{
+				Name:  "renormalize",
+				Class: "final",
+				Action: func(q *logical.Query) bool {
+					before := logical.Format(q.Root, q.Meta)
+					logical.NormalizeQuery(q, logical.DefaultNormalize())
+					return logical.Format(q.Root, q.Meta) != before
+				},
+			},
+		},
+	}
+}
+
+// Optimizer is the two-phase Starburst optimizer: query rewrite (QGM rules)
+// followed by bottom-up plan optimization.
+type Optimizer struct {
+	Engine *Engine
+	Plan   *systemr.Optimizer
+}
+
+// Stats aggregates both phases.
+type Stats struct {
+	Rewrite EngineStats
+	Plan    systemr.Metrics
+}
+
+// Optimize rewrites then plans. The input query is modified in place by the
+// rewrite phase.
+func (o *Optimizer) Optimize(q *logical.Query) (physical.Plan, Stats, error) {
+	var st Stats
+	if o.Engine == nil || o.Plan == nil {
+		return nil, st, fmt.Errorf("qgm: optimizer not fully configured")
+	}
+	st.Rewrite = o.Engine.Run(q)
+	plan, err := o.Plan.Optimize(q)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Plan = o.Plan.Metrics
+	return plan, st, nil
+}

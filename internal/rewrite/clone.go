@@ -1,0 +1,57 @@
+// Package rewrite implements the algebraic transformations of Section 4 of
+// the paper: merging nested subqueries into joins (§4.2.2, Kim/Dayal/
+// Muralikrishna), eager/staged group-by pushdown (§4.1.3, Chaudhuri-Shim and
+// Yan-Larson), the join/outerjoin associativity identity (§4.1.2), and
+// magic-set / semijoin style information passing across query blocks (§4.3).
+// All transformations preserve SQL multiset semantics including NULLs and
+// duplicates; the tests verify each against the naive reference executor.
+package rewrite
+
+import (
+	"repro/internal/logical"
+)
+
+// CloneWithFreshCols deep-copies a relational tree, allocating fresh column
+// IDs for every column the subtree produces. The returned mapping translates
+// old IDs to new ones. Sharing a subtree between two places in one query
+// (as magic rewriting does) requires this: column IDs must stay unique per
+// occurrence.
+func CloneWithFreshCols(e logical.RelExpr, md *logical.Metadata) (logical.RelExpr, map[logical.ColumnID]logical.ColumnID) {
+	mapping := map[logical.ColumnID]logical.ColumnID{}
+	// First pass: allocate new IDs for every produced column.
+	logical.VisitRel(e, func(n logical.RelExpr) {
+		switch t := n.(type) {
+		case *logical.Scan:
+			for _, id := range t.Cols {
+				if _, ok := mapping[id]; !ok {
+					cm := md.Column(id)
+					mapping[id] = md.AddColumn(cm)
+				}
+			}
+		case *logical.Values:
+			for _, id := range t.Cols {
+				if _, ok := mapping[id]; !ok {
+					cm := md.Column(id)
+					mapping[id] = md.AddColumn(cm)
+				}
+			}
+		case *logical.Project:
+			for _, it := range t.Items {
+				if _, ok := mapping[it.ID]; !ok {
+					cm := md.Column(it.ID)
+					mapping[it.ID] = md.AddColumn(cm)
+				}
+			}
+		case *logical.GroupBy:
+			for _, a := range t.Aggs {
+				if _, ok := mapping[a.ID]; !ok {
+					cm := md.Column(a.ID)
+					mapping[a.ID] = md.AddColumn(cm)
+				}
+			}
+		}
+	})
+	// Second pass: remap. Columns not produced inside (outer references)
+	// keep their IDs.
+	return logical.RemapRel(e, mapping), mapping
+}

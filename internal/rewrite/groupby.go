@@ -1,0 +1,201 @@
+package rewrite
+
+import (
+	"repro/internal/datum"
+	"repro/internal/logical"
+)
+
+// PushDownGroupBy implements eager (staged) aggregation — Figure 4 of the
+// paper: a GroupBy above an inner equi-join, whose aggregate arguments all
+// come from one join side, is split into a partial aggregate below the join
+// on that side (grouped by the needed group columns plus the join columns)
+// and a combining aggregate above. This is valid because every row of a
+// partial group carries identical join keys, so the join multiplies whole
+// partitions uniformly; COUNT combines by SUM, SUM by SUM, MIN/MAX by
+// themselves, and AVG is split into SUM and COUNT (recombined by a projection
+// above). DISTINCT aggregates are not splittable and block the rewrite.
+//
+// It returns whether the tree changed.
+func PushDownGroupBy(q *logical.Query) bool {
+	changed := false
+	q.Root = pushGroupByRel(q.Root, q.Meta, &changed)
+	return changed
+}
+
+func pushGroupByRel(e logical.RelExpr, md *logical.Metadata, changed *bool) logical.RelExpr {
+	ch := logical.Children(e)
+	if len(ch) > 0 {
+		nch := make([]logical.RelExpr, len(ch))
+		for i, c := range ch {
+			nch[i] = pushGroupByRel(c, md, changed)
+		}
+		e = logical.WithChildren(e, nch)
+	}
+	g, ok := e.(*logical.GroupBy)
+	if !ok || len(g.Aggs) == 0 || len(g.GroupCols) == 0 {
+		return e
+	}
+	join, ok := g.Input.(*logical.Join)
+	if !ok || join.Kind != logical.InnerJoin {
+		return e
+	}
+	if out, ok := eagerAggregate(g, join, md); ok {
+		*changed = true
+		return out
+	}
+	return e
+}
+
+// eagerAggregate builds the staged form, trying the left side then the right.
+func eagerAggregate(g *logical.GroupBy, join *logical.Join, md *logical.Metadata) (logical.RelExpr, bool) {
+	for _, side := range []bool{true, false} {
+		if out, ok := eagerAggregateSide(g, join, md, side); ok {
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+func eagerAggregateSide(g *logical.GroupBy, join *logical.Join, md *logical.Metadata, left bool) (logical.RelExpr, bool) {
+	target := join.Left
+	if !left {
+		target = join.Right
+	}
+	// Idempotence: if the side is already an aggregation (a partial from a
+	// previous application, or a view), pushing again only stacks redundant
+	// group-bys.
+	if _, ok := target.(*logical.GroupBy); ok {
+		return nil, false
+	}
+	targetCols := target.OutputCols()
+
+	// Every aggregate argument must come from the target side; DISTINCT
+	// blocks staging.
+	for _, a := range g.Aggs {
+		if a.Distinct {
+			return nil, false
+		}
+		if a.Arg != nil && !logical.ScalarCols(a.Arg).SubsetOf(targetCols) {
+			return nil, false
+		}
+	}
+	// Join predicates must be column-to-column equalities (so partial groups
+	// share join behaviour); collect the target-side join columns.
+	var joinCols []logical.ColumnID
+	for _, p := range join.On {
+		cmp, ok := p.(*logical.Cmp)
+		if !ok || cmp.Op != logical.CmpEq {
+			return nil, false
+		}
+		l, lok := cmp.L.(*logical.Col)
+		r, rok := cmp.R.(*logical.Col)
+		if !lok || !rok {
+			return nil, false
+		}
+		switch {
+		case targetCols.Contains(l.ID):
+			joinCols = append(joinCols, l.ID)
+		case targetCols.Contains(r.ID):
+			joinCols = append(joinCols, r.ID)
+		default:
+			return nil, false
+		}
+	}
+
+	// Partial group columns: group columns from the target side + join cols.
+	var partialGroup []logical.ColumnID
+	seen := map[logical.ColumnID]bool{}
+	for _, c := range g.GroupCols {
+		if targetCols.Contains(c) {
+			partialGroup = append(partialGroup, c)
+			seen[c] = true
+		}
+	}
+	for _, c := range joinCols {
+		if !seen[c] {
+			partialGroup = append(partialGroup, c)
+			seen[c] = true
+		}
+	}
+	if len(partialGroup) == 0 {
+		return nil, false
+	}
+
+	// Build partial aggregates and the combining forms.
+	var partialAggs []logical.AggItem
+	var finalAggs []logical.AggItem
+	// avgFix maps an original AVG output to (sumCol, cntCol) for the
+	// recombination projection.
+	type avgParts struct{ sum, cnt logical.ColumnID }
+	avgFix := map[logical.ColumnID]avgParts{}
+
+	newCol := func(name string, kind datum.Kind) logical.ColumnID {
+		return md.AddColumn(logical.ColumnMeta{Name: name, Kind: kind})
+	}
+
+	for _, a := range g.Aggs {
+		switch a.Fn {
+		case logical.AggCount:
+			p := newCol("cnt1", datum.KindInt)
+			partialAggs = append(partialAggs, logical.AggItem{ID: p, Fn: logical.AggCount, Arg: a.Arg})
+			finalAggs = append(finalAggs, logical.AggItem{ID: a.ID, Fn: logical.AggSum, Arg: &logical.Col{ID: p}})
+		case logical.AggSum:
+			p := newCol("sum1", md.Column(a.ID).Kind)
+			partialAggs = append(partialAggs, logical.AggItem{ID: p, Fn: logical.AggSum, Arg: a.Arg})
+			finalAggs = append(finalAggs, logical.AggItem{ID: a.ID, Fn: logical.AggSum, Arg: &logical.Col{ID: p}})
+		case logical.AggMin:
+			p := newCol("min1", md.Column(a.ID).Kind)
+			partialAggs = append(partialAggs, logical.AggItem{ID: p, Fn: logical.AggMin, Arg: a.Arg})
+			finalAggs = append(finalAggs, logical.AggItem{ID: a.ID, Fn: logical.AggMin, Arg: &logical.Col{ID: p}})
+		case logical.AggMax:
+			p := newCol("max1", md.Column(a.ID).Kind)
+			partialAggs = append(partialAggs, logical.AggItem{ID: p, Fn: logical.AggMax, Arg: a.Arg})
+			finalAggs = append(finalAggs, logical.AggItem{ID: a.ID, Fn: logical.AggMax, Arg: &logical.Col{ID: p}})
+		case logical.AggAvg:
+			ps := newCol("avgsum1", datum.KindFloat)
+			pc := newCol("avgcnt1", datum.KindInt)
+			fs := newCol("avgsum", datum.KindFloat)
+			fc := newCol("avgcnt", datum.KindInt)
+			partialAggs = append(partialAggs,
+				logical.AggItem{ID: ps, Fn: logical.AggSum, Arg: a.Arg},
+				logical.AggItem{ID: pc, Fn: logical.AggCount, Arg: a.Arg},
+			)
+			finalAggs = append(finalAggs,
+				logical.AggItem{ID: fs, Fn: logical.AggSum, Arg: &logical.Col{ID: ps}},
+				logical.AggItem{ID: fc, Fn: logical.AggSum, Arg: &logical.Col{ID: pc}},
+			)
+			avgFix[a.ID] = avgParts{sum: fs, cnt: fc}
+		default:
+			return nil, false
+		}
+	}
+
+	partial := &logical.GroupBy{Input: target, GroupCols: partialGroup, Aggs: partialAggs}
+	var newJoin *logical.Join
+	if left {
+		newJoin = &logical.Join{Kind: logical.InnerJoin, Left: partial, Right: join.Right, On: join.On}
+	} else {
+		newJoin = &logical.Join{Kind: logical.InnerJoin, Left: join.Left, Right: partial, On: join.On}
+	}
+	final := &logical.GroupBy{Input: newJoin, GroupCols: g.GroupCols, Aggs: finalAggs}
+	if len(avgFix) == 0 {
+		return final, true
+	}
+	// Recombine AVG columns, preserving the original output column IDs.
+	var items []logical.ProjectItem
+	for _, c := range g.GroupCols {
+		items = append(items, logical.ProjectItem{ID: c, Expr: &logical.Col{ID: c}})
+	}
+	for _, a := range g.Aggs {
+		if parts, ok := avgFix[a.ID]; ok {
+			items = append(items, logical.ProjectItem{
+				ID: a.ID,
+				Expr: &logical.Arith{Op: logical.ArithDiv,
+					L: &logical.Col{ID: parts.sum}, R: &logical.Col{ID: parts.cnt}},
+			})
+		} else {
+			items = append(items, logical.ProjectItem{ID: a.ID, Expr: &logical.Col{ID: a.ID}})
+		}
+	}
+	return &logical.Project{Input: final, Items: items}, true
+}

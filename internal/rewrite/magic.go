@@ -1,0 +1,244 @@
+package rewrite
+
+import (
+	"repro/internal/logical"
+)
+
+// MagicStats reports what the magic pass did.
+type MagicStats struct {
+	ViewsRestricted int
+}
+
+// ApplyMagic implements the semijoin-style information passing of §4.3: when
+// an inner-join block contains a GroupBy-rooted leaf (a view or unnested
+// aggregate block) joined on its grouping column, the set of relevant keys —
+// computed by joining the *other* relations of the block with their local
+// predicates (the paper's PartialResult/Filter views) — is pushed into the
+// view's input as a semijoin, restricting the aggregation to groups the
+// outer query can actually use.
+//
+// The filter subtree is cloned with fresh column IDs because the same
+// relations keep their original roles in the main query.
+func ApplyMagic(q *logical.Query) MagicStats {
+	var st MagicStats
+	q.Root = magicRel(q.Root, q.Meta, &st)
+	return st
+}
+
+func magicRel(e logical.RelExpr, md *logical.Metadata, st *MagicStats) logical.RelExpr {
+	ch := logical.Children(e)
+	if len(ch) > 0 {
+		nch := make([]logical.RelExpr, len(ch))
+		for i, c := range ch {
+			nch[i] = magicRel(c, md, st)
+		}
+		e = logical.WithChildren(e, nch)
+	}
+	// Only join-block roots are interesting; avoid re-entering from inside
+	// the block by requiring the parent dispatcher to call us on the root.
+	switch e.(type) {
+	case *logical.Select, *logical.Join:
+	default:
+		return e
+	}
+	leaves, preds, ok := logical.ExtractJoinBlock(e)
+	if !ok || len(leaves) < 2 {
+		return e
+	}
+	g := logical.BuildQueryGraph(leaves, preds)
+	for vi, leaf := range leaves {
+		gb := groupByRoot(leaf)
+		if gb == nil || len(gb.GroupCols) == 0 {
+			continue
+		}
+		// Already restricted (the pass runs bottom-up over nested roots).
+		if sj, ok := gb.Input.(*logical.Join); ok && sj.Kind == logical.SemiJoin {
+			continue
+		}
+		// Find an equi edge between a grouping column of the view and some
+		// other leaf.
+		viewCols := g.NodeCols[vi]
+		var keyInView, keyOutside logical.ColumnID
+		var otherIdx = -1
+		for _, edge := range g.Edges {
+			if edge.A != vi && edge.B != vi {
+				continue
+			}
+			other := edge.A
+			if other == vi {
+				other = edge.B
+			}
+			for _, p := range edge.Preds {
+				cmp, ok := p.(*logical.Cmp)
+				if !ok || cmp.Op != logical.CmpEq {
+					continue
+				}
+				l, lok := cmp.L.(*logical.Col)
+				r, rok := cmp.R.(*logical.Col)
+				if !lok || !rok {
+					continue
+				}
+				var vcol, ocol logical.ColumnID
+				if viewCols.Contains(l.ID) {
+					vcol, ocol = l.ID, r.ID
+				} else if viewCols.Contains(r.ID) {
+					vcol, ocol = r.ID, l.ID
+				} else {
+					continue
+				}
+				if !isGroupCol(gb, vcol) {
+					continue
+				}
+				keyInView, keyOutside, otherIdx = vcol, ocol, other
+				break
+			}
+			if otherIdx >= 0 {
+				break
+			}
+		}
+		if otherIdx < 0 {
+			continue
+		}
+		// Build the magic filter: all other leaves with their local
+		// predicates and connecting edges, projected (distinct) onto the
+		// outside key column — then cloned with fresh IDs.
+		filterRel := buildFilterRel(g, vi, keyOutside)
+		if filterRel == nil {
+			continue
+		}
+		cloned, mapping := CloneWithFreshCols(filterRel, md)
+		magicKey, ok := mapping[keyOutside]
+		if !ok {
+			continue
+		}
+		// Restrict the view's input with a semijoin on the grouping column.
+		newView := restrictView(gb, keyInView, cloned, magicKey)
+		if newView == nil {
+			continue
+		}
+		leaves[vi] = newView
+		st.ViewsRestricted++
+		// Rebuild the block: leaves joined left-deep with all predicates.
+		return rebuildBlock(leaves, preds)
+	}
+	return e
+}
+
+// groupByRoot unwraps passthrough projections to find a GroupBy leaf root.
+func groupByRoot(e logical.RelExpr) *logical.GroupBy {
+	switch t := e.(type) {
+	case *logical.GroupBy:
+		return t
+	case *logical.Project:
+		if t.Passthrough() {
+			return groupByRoot(t.Input)
+		}
+	}
+	return nil
+}
+
+func isGroupCol(g *logical.GroupBy, c logical.ColumnID) bool {
+	for _, gc := range g.GroupCols {
+		if gc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// buildFilterRel joins every leaf except vi (with local predicates and
+// inter-leaf edges) and projects the distinct key values.
+func buildFilterRel(g *logical.QueryGraph, vi int, key logical.ColumnID) logical.RelExpr {
+	var rel logical.RelExpr
+	included := map[int]bool{}
+	for i, leaf := range g.Nodes {
+		if i == vi {
+			continue
+		}
+		node := leaf
+		if len(g.Local[i]) > 0 {
+			node = &logical.Select{Input: node, Filters: g.Local[i]}
+		}
+		if rel == nil {
+			rel = node
+		} else {
+			rel = &logical.Join{Kind: logical.InnerJoin, Left: rel, Right: node}
+		}
+		included[i] = true
+	}
+	if rel == nil {
+		return nil
+	}
+	var on []logical.Scalar
+	for _, e := range g.Edges {
+		if included[e.A] && included[e.B] {
+			on = append(on, e.Preds...)
+		}
+	}
+	if j, ok := rel.(*logical.Join); ok {
+		j.On = on
+	} else if len(on) > 0 {
+		rel = &logical.Select{Input: rel, Filters: on}
+	}
+	if !rel.OutputCols().Contains(key) {
+		return nil
+	}
+	// DISTINCT key values (the paper's Filter view).
+	return &logical.GroupBy{
+		Input:     &logical.Project{Input: rel, Items: []logical.ProjectItem{{ID: key, Expr: &logical.Col{ID: key}}}},
+		GroupCols: []logical.ColumnID{key},
+	}
+}
+
+// restrictView pushes a semijoin against the magic set into the view's input.
+func restrictView(g *logical.GroupBy, viewKey logical.ColumnID, magic logical.RelExpr, magicKey logical.ColumnID) logical.RelExpr {
+	if !g.Input.OutputCols().Contains(viewKey) {
+		return nil
+	}
+	semi := &logical.Join{
+		Kind:  logical.SemiJoin,
+		Left:  g.Input,
+		Right: magic,
+		On:    []logical.Scalar{&logical.Cmp{Op: logical.CmpEq, L: &logical.Col{ID: viewKey}, R: &logical.Col{ID: magicKey}}},
+	}
+	return &logical.GroupBy{Input: semi, GroupCols: g.GroupCols, Aggs: g.Aggs}
+}
+
+// rebuildBlock joins the (possibly rewritten) leaves left-deep, attaching
+// each predicate at the first point where its columns are available, so the
+// rebuilt tree stays efficiently executable even without re-optimization.
+func rebuildBlock(leaves []logical.RelExpr, preds []logical.Scalar) logical.RelExpr {
+	placed := make([]bool, len(preds))
+	take := func(cols logical.ColSet) []logical.Scalar {
+		var out []logical.Scalar
+		for i, p := range preds {
+			if placed[i] {
+				continue
+			}
+			if logical.ScalarCols(p).SubsetOf(cols) {
+				placed[i] = true
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	rel := leaves[0]
+	cols := rel.OutputCols()
+	if local := take(cols); len(local) > 0 {
+		rel = &logical.Select{Input: rel, Filters: local}
+	}
+	for _, l := range leaves[1:] {
+		cols = cols.Union(l.OutputCols())
+		rel = &logical.Join{Kind: logical.InnerJoin, Left: rel, Right: l, On: take(cols)}
+	}
+	var rest []logical.Scalar
+	for i, p := range preds {
+		if !placed[i] {
+			rest = append(rest, p)
+		}
+	}
+	if len(rest) > 0 {
+		rel = &logical.Select{Input: rel, Filters: rest}
+	}
+	return rel
+}

@@ -1,0 +1,69 @@
+package rewrite
+
+import (
+	"repro/internal/logical"
+)
+
+// AssociateJoinOuterjoin applies the §4.1.2 identity
+//
+//	Join(R, S LOJ T)  =  Join(R, S) LOJ T
+//
+// whenever the inner join's predicates touch only R and S. Repeated
+// application moves the block of joins below the block of outerjoins, after
+// which the inner joins reorder freely (the Rosenthal/Galindo-Legaria
+// class). It returns whether anything changed.
+func AssociateJoinOuterjoin(q *logical.Query) bool {
+	changed := false
+	for pass := 0; pass < 10; pass++ {
+		did := false
+		q.Root = associateRel(q.Root, &did)
+		if !did {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func associateRel(e logical.RelExpr, changed *bool) logical.RelExpr {
+	ch := logical.Children(e)
+	if len(ch) > 0 {
+		nch := make([]logical.RelExpr, len(ch))
+		for i, c := range ch {
+			nch[i] = associateRel(c, changed)
+		}
+		e = logical.WithChildren(e, nch)
+	}
+	j, ok := e.(*logical.Join)
+	if !ok || j.Kind != logical.InnerJoin {
+		return e
+	}
+	// Join(R, LOJ(S, T)) with preds ⊆ R ∪ S → LOJ(Join(R, S), T).
+	if loj, ok := j.Right.(*logical.Join); ok && loj.Kind == logical.LeftOuterJoin {
+		rs := j.Left.OutputCols().Union(loj.Left.OutputCols())
+		if allPredsWithin(j.On, rs) {
+			*changed = true
+			inner := &logical.Join{Kind: logical.InnerJoin, Left: j.Left, Right: loj.Left, On: j.On}
+			return &logical.Join{Kind: logical.LeftOuterJoin, Left: inner, Right: loj.Right, On: loj.On}
+		}
+	}
+	// Mirror: Join(LOJ(S, T), R) with preds ⊆ S ∪ R → LOJ(Join(S, R), T).
+	if loj, ok := j.Left.(*logical.Join); ok && loj.Kind == logical.LeftOuterJoin {
+		sr := loj.Left.OutputCols().Union(j.Right.OutputCols())
+		if allPredsWithin(j.On, sr) {
+			*changed = true
+			inner := &logical.Join{Kind: logical.InnerJoin, Left: loj.Left, Right: j.Right, On: j.On}
+			return &logical.Join{Kind: logical.LeftOuterJoin, Left: inner, Right: loj.Right, On: loj.On}
+		}
+	}
+	return e
+}
+
+func allPredsWithin(preds []logical.Scalar, cols logical.ColSet) bool {
+	for _, p := range preds {
+		if !logical.ScalarCols(p).SubsetOf(cols) {
+			return false
+		}
+	}
+	return true
+}

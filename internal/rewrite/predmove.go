@@ -1,0 +1,122 @@
+package rewrite
+
+import (
+	"repro/internal/datum"
+	"repro/internal/logical"
+)
+
+// MovePredicates implements predicate move-around (§4.3's "simpler technique
+// ... generalized in [36]", Levy/Mumick/Sagiv): within each inner-join
+// block, columns connected by equality predicates form equivalence classes,
+// and any column-vs-constant comparison on one member is implied for every
+// other member. Deriving those predicates lets the optimizer filter other
+// relations early (often via their indexes). It returns the number of
+// predicates derived.
+func MovePredicates(q *logical.Query) int {
+	derived := 0
+	q.Root = movePredRel(q.Root, &derived)
+	return derived
+}
+
+func movePredRel(e logical.RelExpr, derived *int) logical.RelExpr {
+	// Bottom-up so nested blocks (views, subquery plans) are handled first.
+	ch := logical.Children(e)
+	if len(ch) > 0 {
+		nch := make([]logical.RelExpr, len(ch))
+		for i, c := range ch {
+			nch[i] = movePredRel(c, derived)
+		}
+		e = logical.WithChildren(e, nch)
+	}
+	switch e.(type) {
+	case *logical.Select, *logical.Join:
+	default:
+		return e
+	}
+	leaves, preds, ok := logical.ExtractJoinBlock(e)
+	if !ok || len(leaves) < 2 || len(preds) == 0 {
+		return e
+	}
+
+	// Union-find over columns connected by equality predicates.
+	parent := map[logical.ColumnID]logical.ColumnID{}
+	var find func(c logical.ColumnID) logical.ColumnID
+	find = func(c logical.ColumnID) logical.ColumnID {
+		p, ok := parent[c]
+		if !ok || p == c {
+			parent[c] = c
+			return c
+		}
+		r := find(p)
+		parent[c] = r
+		return r
+	}
+	union := func(a, b logical.ColumnID) { parent[find(a)] = find(b) }
+
+	type constPred struct {
+		col  logical.ColumnID
+		op   logical.CmpOp
+		val  datum.D
+		orig logical.Scalar
+	}
+	var constPreds []constPred
+	seen := map[string]bool{}
+	for _, p := range preds {
+		seen[p.String()] = true
+		cmp, ok := p.(*logical.Cmp)
+		if !ok {
+			continue
+		}
+		if l, lok := cmp.L.(*logical.Col); lok {
+			if r, rok := cmp.R.(*logical.Col); rok && cmp.Op == logical.CmpEq {
+				union(l.ID, r.ID)
+				continue
+			}
+			if k, kok := cmp.R.(*logical.Const); kok && cmp.Op != logical.CmpLike {
+				constPreds = append(constPreds, constPred{l.ID, cmp.Op, k.Val, p})
+			}
+			continue
+		}
+		if r, rok := cmp.R.(*logical.Col); rok {
+			if k, kok := cmp.L.(*logical.Const); kok && cmp.Op != logical.CmpLike {
+				constPreds = append(constPreds, constPred{r.ID, cmp.Op.Commute(), k.Val, p})
+			}
+		}
+	}
+	if len(constPreds) == 0 {
+		return e
+	}
+	// Group equivalence-class members.
+	members := map[logical.ColumnID][]logical.ColumnID{}
+	for c := range parent {
+		r := find(c)
+		members[r] = append(members[r], c)
+	}
+	newPreds := append([]logical.Scalar{}, preds...)
+	added := 0
+	for _, cp := range constPreds {
+		root, ok := parent[cp.col]
+		_ = root
+		if !ok {
+			continue // column not in any equivalence class
+		}
+		for _, other := range members[find(cp.col)] {
+			if other == cp.col {
+				continue
+			}
+			np := &logical.Cmp{Op: cp.op, L: &logical.Col{ID: other}, R: &logical.Const{Val: cp.val}}
+			key := np.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			newPreds = append(newPreds, np)
+			added++
+		}
+	}
+	if added == 0 {
+		return e
+	}
+	*derived += added
+	return rebuildBlock(leaves, newPreds)
+}

@@ -1,0 +1,164 @@
+// Package sql implements the SQL front end: a lexer, an AST, and a
+// recursive-descent parser for the SQL subset the paper's techniques target —
+// select-project-join blocks with grouping, ordering, nested subqueries
+// (IN / EXISTS / scalar aggregates), outer joins, views and basic DDL/DML.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"DISTINCT": true, "ALL": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "EXISTS": true, "BETWEEN": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "LIKE": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "ON": true, "CROSS": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true,
+	"CLUSTERED": true, "VIEW": true, "MATERIALIZED": true, "PRIMARY": true,
+	"KEY": true, "INTEGER": true, "INT": true, "FLOAT": true, "DOUBLE": true,
+	"VARCHAR": true, "TEXT": true, "BOOLEAN": true, "BOOL": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "ANALYZE": true,
+	"EXPLAIN": true, "UNION": true, "CUBE": true, "ROLLUP": true, "COUNT": false, // COUNT parses as ident
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+				} else if d == '.' && !seenDot {
+					seenDot = true
+					i++
+				} else {
+					break
+				}
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		default:
+			start := i
+			switch c {
+			case '<':
+				if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+					toks = append(toks, Token{TokSymbol, input[i : i+2], start})
+					i += 2
+				} else {
+					toks = append(toks, Token{TokSymbol, "<", start})
+					i++
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, Token{TokSymbol, ">=", start})
+					i += 2
+				} else {
+					toks = append(toks, Token{TokSymbol, ">", start})
+					i++
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, Token{TokSymbol, "!=", start})
+					i += 2
+				} else {
+					return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+				}
+			case '=', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+				toks = append(toks, Token{TokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, start)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

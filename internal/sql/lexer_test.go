@@ -1,0 +1,100 @@
+package sql
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasic(t *testing.T) {
+	toks, err := Lex("SELECT a.b, 'it''s', 3.14, 42 FROM t WHERE x <= 5 AND y <> 'z'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "a", ".", "b", ",", "it's", ",", "3.14", ",", "42",
+		"FROM", "t", "WHERE", "x", "<=", "5", "AND", "y", "<>", "z", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(texts), texts, len(want))
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select From wHeRe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokKeyword {
+			t.Errorf("%q should be a keyword", tok.Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT 1 -- trailing comment\n, 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // SELECT 1 , 2 EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("= <> != < <= > >= + - * / % ( ) . ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:len(toks)-1] {
+		if tok.Kind != TokSymbol {
+			t.Errorf("%q should be a symbol", tok.Text)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'oops"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("a ! b"); err == nil {
+		t.Error("lone ! should fail")
+	}
+	if _, err := Lex("a # b"); err == nil {
+		t.Error("illegal char should fail")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("1 2.5 .5 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"1", "2.5", ".5", "100"}
+	for i, w := range wantTexts {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("token %d = %v, want number %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{TokEOF, "", 0}).String() != "end of input" {
+		t.Error("EOF token string")
+	}
+	if (Token{TokString, "x", 0}).String() != "'x'" {
+		t.Error("string token string")
+	}
+}

@@ -1,0 +1,957 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SQL statement (an optional trailing ';' is allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: input}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a SELECT statement, used for view definitions.
+func ParseSelect(input string) (*SelectStmt, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+func (p *Parser) peek() Token   { return p.toks[p.pos] }
+func (p *Parser) next() Token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) atEOF() bool   { return p.peek().Kind == TokEOF }
+func (p *Parser) save() int     { return p.pos }
+func (p *Parser) restore(s int) { p.pos = s }
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.Kind == TokSymbol && t.Text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	if t := p.peek(); t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier, found %s", p.peek())
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	switch t := p.peek(); {
+	case t.Kind == TokKeyword && t.Text == "SELECT":
+		return p.parseSelect()
+	case t.Kind == TokKeyword && t.Text == "CREATE":
+		return p.parseCreate()
+	case t.Kind == TokKeyword && t.Text == "INSERT":
+		return p.parseInsert()
+	case t.Kind == TokKeyword && t.Text == "ANALYZE":
+		p.next()
+		name := ""
+		if p.peek().Kind == TokIdent {
+			name = p.next().Text
+		}
+		return &AnalyzeStmt{Table: name}, nil
+	case t.Kind == TokKeyword && t.Text == "EXPLAIN":
+		p.next()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: inner}, nil
+	default:
+		return nil, p.errorf("expected a statement, found %s", t)
+	}
+}
+
+// --- SELECT ---
+
+// parseSelect parses a full query expression: one or more UNION-combined
+// select cores followed by ORDER BY / LIMIT for the whole result.
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	sel, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		arm, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		sel.Union = append(sel.Union, UnionArm{All: all, Stmt: arm})
+	}
+	if err := p.parseSelectSuffix(sel); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// parseSelectCore parses SELECT ... [FROM/WHERE/GROUP BY/HAVING] without the
+// trailing ORDER BY/LIMIT (which bind to the whole union).
+func (p *Parser) parseSelectCore() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Select = append(sel.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, te)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		// CUBE (...) / ROLLUP (...) — the §7.4 decision-support extensions.
+		parenList := false
+		switch {
+		case p.acceptKeyword("CUBE"):
+			sel.Grouping = GroupCube
+			parenList = true
+		case p.acceptKeyword("ROLLUP"):
+			sel.Grouping = GroupRollup
+			parenList = true
+		}
+		if parenList {
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if parenList {
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+// parseSelectSuffix parses ORDER BY / LIMIT onto sel.
+func (p *Parser) parseSelectSuffix(sel *SelectStmt) error {
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return p.errorf("expected number after LIMIT, found %s", t)
+		}
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return p.errorf("invalid LIMIT %q", t.Text)
+		}
+		sel.Limit = &n
+	}
+	return nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form
+	if t := p.peek(); t.Kind == TokIdent {
+		s := p.save()
+		name := p.next().Text
+		if p.acceptSymbol(".") && p.acceptSymbol("*") {
+			return SelectItem{TableStar: name}, nil
+		}
+		p.restore(s)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if t := p.peek(); t.Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// --- FROM clause ---
+
+func (p *Parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parsePrimaryTable()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind, ok := p.acceptJoinKeyword()
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parsePrimaryTable()
+		if err != nil {
+			return nil, err
+		}
+		var on Expr
+		if kind != JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		left = &JoinExpr{Kind: kind, Left: left, Right: right, On: on}
+	}
+}
+
+func (p *Parser) acceptJoinKeyword() (JoinKind, bool) {
+	switch {
+	case p.acceptKeyword("JOIN"):
+		return JoinInner, true
+	case p.acceptKeyword("INNER"):
+		p.acceptKeyword("JOIN")
+		return JoinInner, true
+	case p.acceptKeyword("CROSS"):
+		p.acceptKeyword("JOIN")
+		return JoinCross, true
+	case p.acceptKeyword("LEFT"):
+		p.acceptKeyword("OUTER")
+		p.acceptKeyword("JOIN")
+		return JoinLeftOuter, true
+	case p.acceptKeyword("RIGHT"):
+		p.acceptKeyword("OUTER")
+		p.acceptKeyword("JOIN")
+		return JoinRightOuter, true
+	case p.acceptKeyword("FULL"):
+		p.acceptKeyword("OUTER")
+		p.acceptKeyword("JOIN")
+		return JoinFullOuter, true
+	}
+	return 0, false
+}
+
+func (p *Parser) parsePrimaryTable() (TableExpr, error) {
+	if p.acceptSymbol("(") {
+		if t := p.peek(); t.Kind == TokKeyword && t.Text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			p.acceptKeyword("AS")
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, fmt.Errorf("sql: derived table requires an alias: %w", err)
+			}
+			return &SubqueryTable{Select: sub, Alias: alias}, nil
+		}
+		// Parenthesized join expression.
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tn := &TableName{Name: name}
+	if p.acceptKeyword("AS") {
+		tn.Alias, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	} else if t := p.peek(); t.Kind == TokIdent {
+		tn.Alias = p.next().Text
+	}
+	return tn, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses comparisons, IN, BETWEEN, IS NULL, LIKE over additive
+// expressions.
+func (p *Parser) parsePredicate() (Expr, error) {
+	// EXISTS (subquery)
+	if p.acceptKeyword("EXISTS") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub}, nil
+	}
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	negated := false
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
+		// lookahead for NOT IN / NOT BETWEEN / NOT LIKE
+		s := p.save()
+		p.next()
+		if tt := p.peek(); tt.Kind == TokKeyword && (tt.Text == "IN" || tt.Text == "BETWEEN" || tt.Text == "LIKE") {
+			negated = true
+		} else {
+			p.restore(s)
+		}
+	}
+	switch t := p.peek(); {
+	case t.Kind == TokSymbol && isCmpSymbol(t.Text):
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: cmpOp(t.Text), L: l, R: r}, nil
+	case t.Kind == TokKeyword && t.Text == "IN":
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if tt := p.peek(); tt.Kind == TokKeyword && tt.Text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{E: l, Sub: sub, Negated: negated}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, List: list, Negated: negated}, nil
+	case t.Kind == TokKeyword && t.Text == "BETWEEN":
+		p.next()
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Negated: negated}, nil
+	case t.Kind == TokKeyword && t.Text == "LIKE":
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&BinExpr{Op: OpLike, L: l, R: r})
+		if negated {
+			e = &NotExpr{E: e}
+		}
+		return e, nil
+	case t.Kind == TokKeyword && t.Text == "IS":
+		p.next()
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Negated: neg}, nil
+	}
+	return l, nil
+}
+
+func isCmpSymbol(s string) bool {
+	switch s {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func cmpOp(s string) BinOp {
+	switch s {
+	case "=":
+		return OpEq
+	case "<>", "!=":
+		return OpNe
+	case "<":
+		return OpLt
+	case "<=":
+		return OpLe
+	case ">":
+		return OpGt
+	case ">=":
+		return OpGe
+	}
+	panic("not a comparison: " + s)
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: OpAdd, L: l, R: r}
+		case p.acceptSymbol("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: OpMul, L: l, R: r}
+		case p.acceptSymbol("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: OpDiv, L: l, R: r}
+		case p.acceptSymbol("%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: OpMod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Lit); ok && lit.Val.Kind().Numeric() {
+			// Fold negation into the literal.
+			if lit.Val.Kind() == datum.KindInt {
+				return &Lit{Val: datum.NewInt(-lit.Val.Int())}, nil
+			}
+			return &Lit{Val: datum.NewFloat(-lit.Val.Float())}, nil
+		}
+		return &NegExpr{E: e}, nil
+	}
+	p.acceptSymbol("+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return &Lit{Val: datum.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &Lit{Val: datum.NewInt(n)}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &Lit{Val: datum.NewString(t.Text)}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.next()
+		return &Lit{Val: datum.Null}, nil
+	case t.Kind == TokKeyword && t.Text == "TRUE":
+		p.next()
+		return &Lit{Val: datum.NewBool(true)}, nil
+	case t.Kind == TokKeyword && t.Text == "FALSE":
+		p.next()
+		return &Lit{Val: datum.NewBool(false)}, nil
+	case t.Kind == TokSymbol && t.Text == "(":
+		p.next()
+		if tt := p.peek(); tt.Kind == TokKeyword && tt.Text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Sub: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		name := t.Text
+		// Function call?
+		if p.acceptSymbol("(") {
+			fc := &FuncCall{Name: strings.ToUpper(name)}
+			if p.acceptSymbol("*") {
+				fc.Star = true
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			}
+			if p.acceptKeyword("DISTINCT") {
+				fc.Distinct = true
+			}
+			if !p.acceptSymbol(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.acceptSymbol(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Name: col}, nil
+		}
+		return &ColRef{Name: name}, nil
+	}
+	return nil, p.errorf("expected an expression, found %s", t)
+}
+
+// --- DDL / DML ---
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKeyword("UNIQUE")
+	clustered := p.acceptKeyword("CLUSTERED")
+	switch {
+	case p.acceptKeyword("TABLE"):
+		if unique || clustered {
+			return nil, p.errorf("UNIQUE/CLUSTERED apply to indexes, not tables")
+		}
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex(unique, clustered)
+	case p.acceptKeyword("MATERIALIZED"):
+		if err := p.expectKeyword("VIEW"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateView(true)
+	case p.acceptKeyword("VIEW"):
+		if unique || clustered {
+			return nil, p.errorf("UNIQUE/CLUSTERED apply to indexes, not views")
+		}
+		return p.parseCreateView(false)
+	}
+	return nil, p.errorf("expected TABLE, INDEX or VIEW after CREATE")
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				stmt.PrimaryKey = append(stmt.PrimaryKey, c)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			colName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			cd := ColDef{Name: colName, Kind: kind}
+			if p.acceptKeyword("NOT") {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				cd.NotNull = true
+			}
+			stmt.Cols = append(stmt.Cols, cd)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseTypeName() (datum.Kind, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return 0, p.errorf("expected a type name, found %s", t)
+	}
+	p.next()
+	switch t.Text {
+	case "INT", "INTEGER":
+		return datum.KindInt, nil
+	case "FLOAT", "DOUBLE":
+		return datum.KindFloat, nil
+	case "VARCHAR", "TEXT":
+		// Optional length: VARCHAR(30)
+		if p.acceptSymbol("(") {
+			if p.peek().Kind != TokNumber {
+				return 0, p.errorf("expected length in VARCHAR(n)")
+			}
+			p.next()
+			if err := p.expectSymbol(")"); err != nil {
+				return 0, err
+			}
+		}
+		return datum.KindString, nil
+	case "BOOL", "BOOLEAN":
+		return datum.KindBool, nil
+	}
+	return 0, p.errorf("unknown type %s", t.Text)
+}
+
+func (p *Parser) parseCreateIndex(unique, clustered bool) (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateIndexStmt{Name: name, Table: table, Unique: unique, Clustered: clustered}
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Cols = append(stmt.Cols, c)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCreateView(materialized bool) (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	start := p.peek().Pos
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	end := p.peek().Pos
+	return &CreateViewStmt{
+		Name:         name,
+		Materialized: materialized,
+		Select:       sel,
+		SQL:          strings.TrimSpace(p.src[start:min(end, len(p.src))]),
+	}, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}

@@ -1,0 +1,430 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+)
+
+func mustSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", q, stmt)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT name, sal FROM Emp WHERE sal > 100 ORDER BY sal DESC LIMIT 10")
+	if len(sel.Select) != 2 {
+		t.Fatalf("select list len %d", len(sel.Select))
+	}
+	if sel.Where == nil {
+		t.Fatal("missing WHERE")
+	}
+	be, ok := sel.Where.(*BinExpr)
+	if !ok || be.Op != OpGt {
+		t.Fatalf("WHERE = %v", sel.Where)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatal("ORDER BY DESC missing")
+	}
+	if sel.Limit == nil || *sel.Limit != 10 {
+		t.Fatal("LIMIT missing")
+	}
+}
+
+func TestParseStarAndTableStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t")
+	if !sel.Select[0].Star {
+		t.Error("* not parsed")
+	}
+	sel = mustSelect(t, "SELECT e.* FROM Emp e")
+	if sel.Select[0].TableStar != "e" {
+		t.Error("e.* not parsed")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := mustSelect(t, "SELECT e.sal AS salary, e.did dept FROM Emp AS e, Dept d")
+	if sel.Select[0].Alias != "salary" || sel.Select[1].Alias != "dept" {
+		t.Error("column aliases not parsed")
+	}
+	tn := sel.From[0].(*TableName)
+	if tn.Binding() != "e" {
+		t.Errorf("binding = %q", tn.Binding())
+	}
+	tn2 := sel.From[1].(*TableName)
+	if tn2.Binding() != "d" || tn2.Name != "Dept" {
+		t.Error("implicit alias not parsed")
+	}
+	noAlias := &TableName{Name: "X"}
+	if noAlias.Binding() != "X" {
+		t.Error("Binding without alias should be table name")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM A JOIN B ON A.x = B.x LEFT OUTER JOIN C ON B.y = C.y`)
+	j, ok := sel.From[0].(*JoinExpr)
+	if !ok || j.Kind != JoinLeftOuter {
+		t.Fatalf("outer join = %#v", sel.From[0])
+	}
+	inner, ok := j.Left.(*JoinExpr)
+	if !ok || inner.Kind != JoinInner || inner.On == nil {
+		t.Fatal("inner join not nested correctly")
+	}
+	if j.Kind.String() != "LEFT OUTER JOIN" {
+		t.Error("JoinKind.String")
+	}
+}
+
+func TestParseJoinVariants(t *testing.T) {
+	for q, want := range map[string]JoinKind{
+		"SELECT * FROM A INNER JOIN B ON A.x=B.x": JoinInner,
+		"SELECT * FROM A LEFT JOIN B ON A.x=B.x":  JoinLeftOuter,
+		"SELECT * FROM A RIGHT JOIN B ON A.x=B.x": JoinRightOuter,
+		"SELECT * FROM A FULL JOIN B ON A.x=B.x":  JoinFullOuter,
+		"SELECT * FROM A CROSS JOIN B":            JoinCross,
+	} {
+		sel := mustSelect(t, q)
+		j := sel.From[0].(*JoinExpr)
+		if j.Kind != want {
+			t.Errorf("%q: kind %v, want %v", q, j.Kind, want)
+		}
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	sel := mustSelect(t, `SELECT did, COUNT(*), AVG(sal) FROM Emp GROUP BY did HAVING COUNT(*) > 5`)
+	if len(sel.GroupBy) != 1 {
+		t.Fatal("GROUP BY missing")
+	}
+	if sel.Having == nil {
+		t.Fatal("HAVING missing")
+	}
+	fc := sel.Select[1].Expr.(*FuncCall)
+	if !fc.Star || fc.Name != "COUNT" || !fc.IsAggregate() {
+		t.Error("COUNT(*) not parsed")
+	}
+	avg := sel.Select[2].Expr.(*FuncCall)
+	if avg.Name != "AVG" || len(avg.Args) != 1 {
+		t.Error("AVG(sal) not parsed")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	sel := mustSelect(t, "SELECT DISTINCT did FROM Emp")
+	if !sel.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	sel = mustSelect(t, "SELECT COUNT(DISTINCT did) FROM Emp")
+	fc := sel.Select[0].Expr.(*FuncCall)
+	if !fc.Distinct {
+		t.Error("COUNT(DISTINCT) not parsed")
+	}
+}
+
+func TestParseNestedSubqueries(t *testing.T) {
+	// The paper's §4.2.2 example.
+	q := `SELECT Emp.Name FROM Emp WHERE Emp.Dept_no IN
+	      (SELECT Dept.Dept_no FROM Dept WHERE Dept.Loc = 'Denver' AND Emp.Emp_no = Dept.Mgr)`
+	sel := mustSelect(t, q)
+	in, ok := sel.Where.(*InExpr)
+	if !ok || in.Sub == nil {
+		t.Fatalf("WHERE = %v", sel.Where)
+	}
+	if in.Sub.Where == nil {
+		t.Fatal("subquery WHERE missing")
+	}
+}
+
+func TestParseExistsAndScalarSubquery(t *testing.T) {
+	sel := mustSelect(t, `SELECT name FROM Dept WHERE EXISTS (SELECT 1 FROM Emp WHERE Emp.did = Dept.did)`)
+	if _, ok := sel.Where.(*ExistsExpr); !ok {
+		t.Fatalf("EXISTS not parsed: %v", sel.Where)
+	}
+	sel = mustSelect(t, `SELECT name FROM Dept WHERE num_mach >= (SELECT COUNT(*) FROM Emp WHERE Dept.name = Emp.dname)`)
+	be := sel.Where.(*BinExpr)
+	if _, ok := be.R.(*SubqueryExpr); !ok {
+		t.Fatalf("scalar subquery not parsed: %v", be.R)
+	}
+}
+
+func TestParseInListBetweenIsNull(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN (4) AND c BETWEEN 1 AND 9 AND d IS NOT NULL AND e IS NULL")
+	s := sel.Where.String()
+	for _, frag := range []string{"IN (1, 2, 3)", "NOT IN (4)", "BETWEEN 1 AND 9", "IS NOT NULL", "IS NULL"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("WHERE %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestParseNotBetweenAndLike(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2 AND b LIKE 'x%' AND c NOT LIKE 'y%'")
+	s := sel.Where.String()
+	if !strings.Contains(s, "NOT BETWEEN") || !strings.Contains(s, "LIKE") {
+		t.Errorf("WHERE = %q", s)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 + 2 * 3 - 4 / 2 FROM t")
+	if got := sel.Select[0].Expr.String(); got != "((1 + (2 * 3)) - (4 / 2))" {
+		t.Errorf("precedence wrong: %s", got)
+	}
+	sel = mustSelect(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	got := sel.Where.String()
+	if got != "((a = 1) OR ((b = 2) AND (c = 3)))" {
+		t.Errorf("bool precedence wrong: %s", got)
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	sel := mustSelect(t, "SELECT -5, -2.5, -x FROM t")
+	if sel.Select[0].Expr.(*Lit).Val.Int() != -5 {
+		t.Error("-5 not folded")
+	}
+	if sel.Select[1].Expr.(*Lit).Val.Float() != -2.5 {
+		t.Error("-2.5 not folded")
+	}
+	if _, ok := sel.Select[2].Expr.(*NegExpr); !ok {
+		t.Error("-x should be NegExpr")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	sel := mustSelect(t, "SELECT NULL, TRUE, FALSE FROM t")
+	if !sel.Select[0].Expr.(*Lit).Val.IsNull() {
+		t.Error("NULL literal")
+	}
+	if !sel.Select[1].Expr.(*Lit).Val.Bool() {
+		t.Error("TRUE literal")
+	}
+	if sel.Select[2].Expr.(*Lit).Val.Bool() {
+		t.Error("FALSE literal")
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := mustSelect(t, "SELECT v.a FROM (SELECT a FROM t) AS v")
+	st, ok := sel.From[0].(*SubqueryTable)
+	if !ok || st.Alias != "v" {
+		t.Fatalf("derived table = %#v", sel.From[0])
+	}
+	if _, err := Parse("SELECT * FROM (SELECT a FROM t)"); err == nil {
+		t.Error("derived table without alias should fail")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE Emp (eid INT NOT NULL, name VARCHAR(30), sal FLOAT, active BOOLEAN, PRIMARY KEY (eid))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Name != "Emp" || len(ct.Cols) != 4 {
+		t.Fatalf("cols = %v", ct.Cols)
+	}
+	if ct.Cols[0].Kind != datum.KindInt || !ct.Cols[0].NotNull {
+		t.Error("eid def wrong")
+	}
+	if ct.Cols[1].Kind != datum.KindString {
+		t.Error("name def wrong")
+	}
+	if ct.Cols[2].Kind != datum.KindFloat || ct.Cols[3].Kind != datum.KindBool {
+		t.Error("sal/active def wrong")
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "eid" {
+		t.Error("primary key wrong")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	stmt, err := Parse("CREATE UNIQUE CLUSTERED INDEX emp_pk ON Emp (eid)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := stmt.(*CreateIndexStmt)
+	if !ci.Unique || !ci.Clustered || ci.Table != "Emp" || len(ci.Cols) != 1 {
+		t.Errorf("index stmt = %+v", ci)
+	}
+	stmt, err = Parse("CREATE INDEX i2 ON t (a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.(*CreateIndexStmt).Cols) != 2 {
+		t.Error("multi-col index")
+	}
+}
+
+func TestParseCreateView(t *testing.T) {
+	stmt, err := Parse("CREATE VIEW v AS SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmt.(*CreateViewStmt)
+	if cv.Materialized || cv.Name != "v" || cv.Select == nil {
+		t.Errorf("view stmt = %+v", cv)
+	}
+	if !strings.HasPrefix(cv.SQL, "SELECT") {
+		t.Errorf("view SQL = %q", cv.SQL)
+	}
+	stmt, err = Parse("CREATE MATERIALIZED VIEW mv AS SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.(*CreateViewStmt).Materialized {
+		t.Error("materialized flag")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t VALUES (1, 'a'), (2, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+}
+
+func TestParseAnalyzeExplain(t *testing.T) {
+	stmt, err := Parse("ANALYZE Emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*AnalyzeStmt).Table != "Emp" {
+		t.Error("analyze table")
+	}
+	stmt, err = Parse("ANALYZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*AnalyzeStmt).Table != "" {
+		t.Error("analyze all")
+	}
+	stmt, err = Parse("EXPLAIN SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*ExplainStmt).Stmt.(*SelectStmt); !ok {
+		t.Error("explain select")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC 1",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t ORDER sal",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT * FROM A JOIN B",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a WHATEVER)",
+		"CREATE UNIQUE TABLE t (a INT)",
+		"CREATE INDEX i ON t",
+		"INSERT INTO t (1)",
+		"SELECT 1 2",
+		"SELECT (1",
+		"SELECT * FROM t WHERE a IN (SELECT b FROM s",
+		"SELECT * FROM t; SELECT 2",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseSelectHelper(t *testing.T) {
+	if _, err := ParseSelect("SELECT 1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseSelect("ANALYZE"); err == nil {
+		t.Error("ParseSelect on non-select should fail")
+	}
+	if _, err := ParseSelect("SELEC"); err == nil {
+		t.Error("ParseSelect on garbage should fail")
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT 1;"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	sel := mustSelect(t, "SELECT COUNT(DISTINCT a), SUM(b + 1) FROM t WHERE NOT (a = 1) AND EXISTS (SELECT 1 FROM s) AND x IN (SELECT y FROM s)")
+	if got := sel.Select[0].Expr.String(); got != "COUNT(DISTINCT a)" {
+		t.Errorf("String = %q", got)
+	}
+	s := sel.Where.String()
+	for _, frag := range []string{"NOT", "EXISTS (<subquery>)", "IN (<subquery>)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("%q missing %q", s, frag)
+		}
+	}
+}
+
+func TestParsePaperMagicQuery(t *testing.T) {
+	// The §4.3 example query.
+	q := `SELECT E.eid, E.sal FROM Emp E, Dept D, DepAvgSal V
+	      WHERE E.did = D.did AND E.did = V.did
+	      AND E.age < 30 AND D.budget > 100 AND E.sal > V.avgsal`
+	sel := mustSelect(t, q)
+	if len(sel.From) != 3 {
+		t.Fatalf("FROM items = %d", len(sel.From))
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t UNION ALL SELECT b FROM s UNION SELECT c FROM u ORDER BY a LIMIT 5")
+	if len(sel.Union) != 2 {
+		t.Fatalf("union arms = %d", len(sel.Union))
+	}
+	if !sel.Union[0].All || sel.Union[1].All {
+		t.Error("ALL flags wrong")
+	}
+	if len(sel.OrderBy) != 1 || sel.Limit == nil {
+		t.Error("ORDER BY/LIMIT should attach to the whole union")
+	}
+	if len(sel.Union[0].Stmt.OrderBy) != 0 {
+		t.Error("arms must not absorb the suffix")
+	}
+}
+
+func TestParseCubeRollup(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, b, COUNT(*) FROM t GROUP BY CUBE (a, b)")
+	if sel.Grouping != GroupCube || len(sel.GroupBy) != 2 {
+		t.Errorf("cube parse: mode %v cols %d", sel.Grouping, len(sel.GroupBy))
+	}
+	sel = mustSelect(t, "SELECT a, COUNT(*) FROM t GROUP BY ROLLUP (a)")
+	if sel.Grouping != GroupRollup {
+		t.Error("rollup parse")
+	}
+	sel = mustSelect(t, "SELECT a, COUNT(*) FROM t GROUP BY a")
+	if sel.Grouping != GroupPlain {
+		t.Error("plain grouping default")
+	}
+	if _, err := Parse("SELECT a FROM t GROUP BY CUBE a"); err == nil {
+		t.Error("CUBE requires parentheses")
+	}
+	if _, err := Parse("SELECT a FROM t GROUP BY CUBE (a"); err == nil {
+		t.Error("unclosed CUBE list should fail")
+	}
+}

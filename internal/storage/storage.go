@@ -1,0 +1,268 @@
+// Package storage is the in-memory storage engine: heap tables with page
+// accounting and ordered (B-tree-like) secondary indexes. Real disk I/O is
+// replaced by modeled page counts (see DESIGN.md §4); the executor reports
+// simulated page touches so measured and estimated costs are comparable.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+)
+
+// PageSize is the modeled page size in bytes.
+const PageSize = 8192
+
+// Table is the stored data for one catalog table.
+type Table struct {
+	Def  *catalog.Table
+	rows []datum.Row
+	// bytes is the accumulated modeled width of all rows.
+	bytes int
+	// indexes are built lazily and invalidated by writes.
+	indexes map[string]*IndexData
+	mu      sync.RWMutex
+}
+
+// NewTable creates empty storage for a catalog table.
+func NewTable(def *catalog.Table) *Table {
+	return &Table{Def: def, indexes: make(map[string]*IndexData)}
+}
+
+// Insert appends a row. The row must match the table arity and column kinds
+// (NULLs allowed unless the column is NOT NULL).
+func (t *Table) Insert(row datum.Row) error {
+	if len(row) != len(t.Def.Cols) {
+		return fmt.Errorf("storage: table %s expects %d columns, got %d", t.Def.Name, len(t.Def.Cols), len(row))
+	}
+	for i, d := range row {
+		col := t.Def.Cols[i]
+		if d.IsNull() {
+			if col.NotNull {
+				return fmt.Errorf("storage: NULL in NOT NULL column %s.%s", t.Def.Name, col.Name)
+			}
+			continue
+		}
+		if d.Kind() != col.Kind && !(d.Kind().Numeric() && col.Kind.Numeric()) {
+			return fmt.Errorf("storage: column %s.%s expects %s, got %s", t.Def.Name, col.Name, col.Kind, d.Kind())
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, row.Clone())
+	t.bytes += row.Size()
+	t.indexes = make(map[string]*IndexData) // invalidate
+	return nil
+}
+
+// InsertBatch inserts many rows, stopping at the first error.
+func (t *Table) InsertBatch(rows []datum.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowCount returns the number of stored rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// PageCount returns the modeled number of pages the heap occupies.
+func (t *Table) PageCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.bytes == 0 {
+		return 0
+	}
+	return (t.bytes + PageSize - 1) / PageSize
+}
+
+// Rows returns the stored rows. Callers must not mutate them.
+func (t *Table) Rows() []datum.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Row returns the row with the given row id.
+func (t *Table) Row(id int) datum.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[id]
+}
+
+// SortBy physically reorders the heap by the given sort spec — used to
+// realize a clustered index.
+func (t *Table) SortBy(spec []datum.SortSpec) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return datum.CompareRows(t.rows[i], t.rows[j], spec) < 0
+	})
+	t.indexes = make(map[string]*IndexData)
+}
+
+// IndexData is a built (sorted) secondary index: key columns plus row ids,
+// ordered by key then row id. Lookups binary-search, modeling a B-tree.
+type IndexData struct {
+	Def     *catalog.Index
+	keys    []datum.Row // projected key columns
+	rowIDs  []int
+	KeyCols []int
+}
+
+// Index returns (building if necessary) the named index's data.
+func (t *Table) Index(name string) (*IndexData, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := strings.ToLower(name)
+	if ix, ok := t.indexes[k]; ok {
+		return ix, nil
+	}
+	var def *catalog.Index
+	for _, ix := range t.Def.Indexes {
+		if strings.EqualFold(ix.Name, name) {
+			def = ix
+			break
+		}
+	}
+	if def == nil {
+		return nil, fmt.Errorf("storage: table %s has no index %q", t.Def.Name, name)
+	}
+	ix := &IndexData{Def: def, KeyCols: def.Cols}
+	ix.keys = make([]datum.Row, len(t.rows))
+	ix.rowIDs = make([]int, len(t.rows))
+	for i, r := range t.rows {
+		key := make(datum.Row, len(def.Cols))
+		for j, ord := range def.Cols {
+			key[j] = r[ord]
+		}
+		ix.keys[i] = key
+		ix.rowIDs[i] = i
+	}
+	order := make([]int, len(t.rows))
+	for i := range order {
+		order[i] = i
+	}
+	spec := fullSpec(len(def.Cols))
+	sort.SliceStable(order, func(a, b int) bool {
+		c := datum.CompareRows(ix.keys[order[a]], ix.keys[order[b]], spec)
+		if c != 0 {
+			return c < 0
+		}
+		return ix.rowIDs[order[a]] < ix.rowIDs[order[b]]
+	})
+	sortedKeys := make([]datum.Row, len(order))
+	sortedIDs := make([]int, len(order))
+	for i, o := range order {
+		sortedKeys[i] = ix.keys[o]
+		sortedIDs[i] = ix.rowIDs[o]
+	}
+	ix.keys, ix.rowIDs = sortedKeys, sortedIDs
+	t.indexes[k] = ix
+	return ix, nil
+}
+
+func fullSpec(n int) []datum.SortSpec {
+	spec := make([]datum.SortSpec, n)
+	for i := range spec {
+		spec[i] = datum.SortSpec{Col: i}
+	}
+	return spec
+}
+
+// Len returns the number of index entries.
+func (ix *IndexData) Len() int { return len(ix.keys) }
+
+// Entry returns the i-th (key, rowID) pair in index order.
+func (ix *IndexData) Entry(i int) (datum.Row, int) { return ix.keys[i], ix.rowIDs[i] }
+
+// SeekEq returns the row ids whose leading key columns equal the prefix key.
+func (ix *IndexData) SeekEq(prefix datum.Row) []int {
+	lo := ix.lowerBound(prefix, true)
+	hi := ix.lowerBound(prefix, false)
+	out := make([]int, 0, hi-lo)
+	out = append(out, ix.rowIDs[lo:hi]...)
+	return out
+}
+
+// lowerBound returns the first index position whose key prefix is >= prefix
+// (incl=true) or > prefix (incl=false).
+func (ix *IndexData) lowerBound(prefix datum.Row, incl bool) int {
+	spec := fullSpec(len(prefix))
+	return sort.Search(len(ix.keys), func(i int) bool {
+		c := datum.CompareRows(ix.keys[i][:len(prefix)], prefix, spec)
+		if incl {
+			return c >= 0
+		}
+		return c > 0
+	})
+}
+
+// SeekRange returns the row ids whose leading key column lies in the range
+// [lo, hi] with the given inclusivity; NULL bounds mean unbounded. NULL keys
+// (which sort first) are excluded, matching SQL predicate semantics.
+func (ix *IndexData) SeekRange(lo datum.D, loIncl bool, hi datum.D, hiIncl bool) []int {
+	var out []int
+	for i, k := range ix.keys {
+		v := k[0]
+		if v.IsNull() {
+			continue
+		}
+		if !lo.IsNull() {
+			c := datum.Compare(v, lo)
+			if c < 0 || (c == 0 && !loIncl) {
+				continue
+			}
+		}
+		if !hi.IsNull() {
+			c := datum.Compare(v, hi)
+			if c > 0 || (c == 0 && !hiIncl) {
+				break
+			}
+		}
+		out = append(out, ix.rowIDs[i])
+	}
+	return out
+}
+
+// Store maps table names to stored tables.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// CreateTable allocates storage for a catalog table.
+func (s *Store) CreateTable(def *catalog.Table) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := strings.ToLower(def.Name)
+	if _, ok := s.tables[k]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", def.Name)
+	}
+	t := NewTable(def)
+	s.tables[k] = t
+	return t, nil
+}
+
+// Table looks up stored data by table name.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}

@@ -1,0 +1,292 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+)
+
+func testDef() *catalog.Table {
+	return &catalog.Table{
+		Name: "t",
+		Cols: []catalog.Column{
+			{Name: "a", Kind: datum.KindInt, NotNull: true},
+			{Name: "b", Kind: datum.KindString},
+		},
+		Indexes: []*catalog.Index{
+			{Name: "t_a", Cols: []int{0}},
+			{Name: "t_ba", Cols: []int{1, 0}},
+		},
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tab := NewTable(testDef())
+	rows := []datum.Row{
+		{datum.NewInt(3), datum.NewString("c")},
+		{datum.NewInt(1), datum.NewString("a")},
+		{datum.NewInt(2), datum.Null},
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tab.RowCount() != 3 {
+		t.Fatalf("RowCount = %d", tab.RowCount())
+	}
+	if tab.Row(1)[0].Int() != 1 {
+		t.Error("Row(1) wrong")
+	}
+	if tab.PageCount() != 1 {
+		t.Errorf("PageCount = %d, want 1 for tiny table", tab.PageCount())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tab := NewTable(testDef())
+	if err := tab.Insert(datum.Row{datum.NewInt(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := tab.Insert(datum.Row{datum.Null, datum.NewString("x")}); err == nil {
+		t.Error("NULL in NOT NULL should fail")
+	}
+	if err := tab.Insert(datum.Row{datum.NewString("x"), datum.NewString("y")}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	// Numeric cross-kind is allowed.
+	if err := tab.Insert(datum.Row{datum.NewFloat(1.0), datum.NewString("y")}); err != nil {
+		t.Errorf("float into int column should be allowed: %v", err)
+	}
+}
+
+func TestPageCountGrows(t *testing.T) {
+	tab := NewTable(testDef())
+	for i := 0; i < 5000; i++ {
+		if err := tab.Insert(datum.Row{datum.NewInt(int64(i)), datum.NewString("some payload string")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.PageCount() < 2 {
+		t.Errorf("PageCount = %d, want several pages", tab.PageCount())
+	}
+}
+
+func TestIndexSeekEq(t *testing.T) {
+	tab := NewTable(testDef())
+	vals := []int64{5, 3, 5, 1, 5, 2}
+	for i, v := range vals {
+		if err := tab.Insert(datum.Row{datum.NewInt(v), datum.NewString(string(rune('a' + i)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := tab.Index("T_A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 6 {
+		t.Fatalf("index len %d", ix.Len())
+	}
+	got := ix.SeekEq(datum.Row{datum.NewInt(5)})
+	if len(got) != 3 {
+		t.Fatalf("SeekEq(5) = %v, want 3 matches", got)
+	}
+	for _, id := range got {
+		if tab.Row(id)[0].Int() != 5 {
+			t.Errorf("row %d is not a 5", id)
+		}
+	}
+	if got := ix.SeekEq(datum.Row{datum.NewInt(99)}); len(got) != 0 {
+		t.Errorf("SeekEq(99) = %v, want empty", got)
+	}
+}
+
+func TestIndexSeekRange(t *testing.T) {
+	tab := NewTable(testDef())
+	for _, v := range []int64{10, 20, 30, 40, 50} {
+		if err := tab.Insert(datum.Row{datum.NewInt(v), datum.Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := tab.Index("t_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ix.SeekRange(datum.NewInt(20), true, datum.NewInt(40), false)
+	if len(ids) != 2 {
+		t.Fatalf("SeekRange [20,40) = %d rows, want 2", len(ids))
+	}
+	ids = ix.SeekRange(datum.Null, false, datum.NewInt(20), true)
+	if len(ids) != 2 {
+		t.Fatalf("SeekRange (-inf,20] = %d rows, want 2", len(ids))
+	}
+	ids = ix.SeekRange(datum.NewInt(45), true, datum.Null, false)
+	if len(ids) != 1 {
+		t.Fatalf("SeekRange [45,inf) = %d rows, want 1", len(ids))
+	}
+}
+
+func TestIndexSkipsNullKeysInRange(t *testing.T) {
+	tab := NewTable(testDef())
+	def2 := &catalog.Table{
+		Name: "t2",
+		Cols: []catalog.Column{{Name: "a", Kind: datum.KindInt}},
+		Indexes: []*catalog.Index{
+			{Name: "ix", Cols: []int{0}},
+		},
+	}
+	tab = NewTable(def2)
+	tab.Insert(datum.Row{datum.Null})
+	tab.Insert(datum.Row{datum.NewInt(1)})
+	ix, err := tab.Index("ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := ix.SeekRange(datum.Null, false, datum.Null, false); len(ids) != 1 {
+		t.Errorf("unbounded range should skip NULL keys, got %d rows", len(ids))
+	}
+}
+
+func TestIndexInvalidation(t *testing.T) {
+	tab := NewTable(testDef())
+	tab.Insert(datum.Row{datum.NewInt(1), datum.Null})
+	ix1, _ := tab.Index("t_a")
+	if ix1.Len() != 1 {
+		t.Fatal("expected 1 entry")
+	}
+	tab.Insert(datum.Row{datum.NewInt(2), datum.Null})
+	ix2, _ := tab.Index("t_a")
+	if ix2.Len() != 2 {
+		t.Error("index should rebuild after insert")
+	}
+}
+
+func TestIndexMissing(t *testing.T) {
+	tab := NewTable(testDef())
+	if _, err := tab.Index("nope"); err == nil {
+		t.Error("missing index should error")
+	}
+}
+
+func TestMultiColumnIndex(t *testing.T) {
+	tab := NewTable(testDef())
+	tab.Insert(datum.Row{datum.NewInt(1), datum.NewString("x")})
+	tab.Insert(datum.Row{datum.NewInt(2), datum.NewString("x")})
+	tab.Insert(datum.Row{datum.NewInt(1), datum.NewString("y")})
+	ix, err := tab.Index("t_ba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix seek on leading column only.
+	ids := ix.SeekEq(datum.Row{datum.NewString("x")})
+	if len(ids) != 2 {
+		t.Fatalf("prefix SeekEq('x') = %d rows, want 2", len(ids))
+	}
+	// Full-key seek.
+	ids = ix.SeekEq(datum.Row{datum.NewString("x"), datum.NewInt(2)})
+	if len(ids) != 1 || tab.Row(ids[0])[0].Int() != 2 {
+		t.Fatalf("full SeekEq = %v", ids)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	tab := NewTable(testDef())
+	for _, v := range []int64{3, 1, 2} {
+		tab.Insert(datum.Row{datum.NewInt(v), datum.Null})
+	}
+	tab.SortBy([]datum.SortSpec{{Col: 0}})
+	rows := tab.Rows()
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].Int() > rows[i][0].Int() {
+			t.Fatal("SortBy did not order heap")
+		}
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.CreateTable(testDef()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(testDef()); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if _, ok := s.Table("T"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := s.Table("missing"); ok {
+		t.Error("missing table should not be found")
+	}
+}
+
+// Property (testing/quick): index range seeks agree with a linear scan
+// filter for every range.
+func TestSeekRangeMatchesLinearQuick(t *testing.T) {
+	def := &catalog.Table{
+		Name: "q",
+		Cols: []catalog.Column{{Name: "a", Kind: datum.KindInt}},
+		Indexes: []*catalog.Index{
+			{Name: "q_a", Cols: []int{0}},
+		},
+	}
+	tab := NewTable(def)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 500; i++ {
+		v := datum.NewInt(rng.Int63n(100))
+		if rng.Intn(10) == 0 {
+			v = datum.Null
+		}
+		if err := tab.Insert(datum.Row{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := tab.Index("q_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(lo8, span8 uint8, loIncl, hiIncl, openLo, openHi bool) bool {
+		lo := datum.NewInt(int64(lo8) % 110)
+		hi := datum.NewInt(int64(lo8)%110 + int64(span8)%40)
+		dlo, dhi := datum.D(lo), datum.D(hi)
+		if openLo {
+			dlo = datum.Null
+		}
+		if openHi {
+			dhi = datum.Null
+		}
+		got := ix.SeekRange(dlo, loIncl, dhi, hiIncl)
+		want := map[int]bool{}
+		for id, r := range tab.Rows() {
+			v := r[0]
+			if v.IsNull() {
+				continue
+			}
+			if !dlo.IsNull() {
+				c := datum.Compare(v, dlo)
+				if c < 0 || (c == 0 && !loIncl) {
+					continue
+				}
+			}
+			if !dhi.IsNull() {
+				c := datum.Compare(v, dhi)
+				if c > 0 || (c == 0 && !hiIncl) {
+					continue
+				}
+			}
+			want[id] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+package systemr
+
+import (
+	"repro/internal/datum"
+	"repro/internal/logical"
+	"repro/internal/physical"
+)
+
+// tableShape returns row and page counts for costing.
+func tableShape(t *logical.Scan, m *logicalMetaShim) (rows, pages float64) {
+	if t.Table.Stats != nil {
+		rows = t.Table.Stats.RowCount
+		pages = t.Table.Stats.PageCount
+	}
+	if pages < 1 {
+		pages = 1
+	}
+	return rows, pages
+}
+
+// logicalMetaShim is a tiny indirection so access-path code reads clearly.
+type logicalMetaShim = logical.Metadata
+
+// ordToColID maps a base-table ordinal of the scan to its query column ID.
+func (o *Optimizer) ordToColID(scan *logical.Scan, ord int) (logical.ColumnID, bool) {
+	for _, id := range scan.Cols {
+		if o.Est.Meta.Column(id).BaseOrd == ord {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// scanOrds returns the base ordinals for the scan's output layout.
+func (o *Optimizer) scanOrds(cols []logical.ColumnID) []int {
+	out := make([]int, len(cols))
+	for i, id := range cols {
+		out[i] = o.Est.Meta.Column(id).BaseOrd
+	}
+	return out
+}
+
+// constEq returns the constant compared for equality with the column, if the
+// predicate has the shape col = const.
+func constEq(p logical.Scalar, col logical.ColumnID) (datum.D, bool) {
+	cmp, ok := p.(*logical.Cmp)
+	if !ok || cmp.Op != logical.CmpEq {
+		return datum.Null, false
+	}
+	if c, ok := cmp.L.(*logical.Col); ok && c.ID == col {
+		if k, ok := cmp.R.(*logical.Const); ok {
+			return k.Val, true
+		}
+	}
+	if c, ok := cmp.R.(*logical.Col); ok && c.ID == col {
+		if k, ok := cmp.L.(*logical.Const); ok {
+			return k.Val, true
+		}
+	}
+	return datum.Null, false
+}
+
+// rangeBound extracts a range bound on the column: (lo/hi, inclusive).
+func rangeBound(p logical.Scalar, col logical.ColumnID) (lo datum.D, loIncl bool, hi datum.D, hiIncl bool, ok bool) {
+	cmp, okc := p.(*logical.Cmp)
+	if !okc {
+		return
+	}
+	op := cmp.Op
+	var k datum.D
+	if c, okc := cmp.L.(*logical.Col); okc && c.ID == col {
+		if kk, okc := cmp.R.(*logical.Const); okc {
+			k = kk.Val
+		} else {
+			return
+		}
+	} else if c, okc := cmp.R.(*logical.Col); okc && c.ID == col {
+		if kk, okc := cmp.L.(*logical.Const); okc {
+			k = kk.Val
+			op = op.Commute()
+		} else {
+			return
+		}
+	} else {
+		return
+	}
+	switch op {
+	case logical.CmpLt:
+		return datum.Null, false, k, false, true
+	case logical.CmpLe:
+		return datum.Null, false, k, true, true
+	case logical.CmpGt:
+		return k, false, datum.Null, false, true
+	case logical.CmpGe:
+		return k, true, datum.Null, false, true
+	}
+	return
+}
+
+// accessPaths generates the candidate access paths for one base-table
+// occurrence under the given (already pushed-down) filters: a sequential
+// scan, qualified index scans, and full index scans that provide order.
+func (o *Optimizer) accessPaths(scan *logical.Scan, filters []logical.Scalar) []physical.Plan {
+	tableRows, tablePages := tableShape(scan, o.Est.Meta)
+	// Output rows are a logical property — identical for all candidates.
+	var outRel logical.RelExpr = scan
+	if len(filters) > 0 {
+		outRel = &logical.Select{Input: scan, Filters: filters}
+	}
+	outRows := o.Est.Stats(outRel).Rows
+	ords := o.scanOrds(scan.Cols)
+
+	var cands []physical.Plan
+	// 1. Sequential scan.
+	cands = append(cands, &physical.TableScan{
+		Props:   physical.Props{Rows: outRows, Cost: o.Model.SeqScan(tablePages, tableRows, len(filters))},
+		Table:   scan.Table,
+		Binding: scan.Binding,
+		Cols:    scan.Cols,
+		ColOrds: ords,
+		Filter:  filters,
+	})
+
+	scanStats := o.Est.Stats(scan)
+	for _, ix := range scan.Table.Indexes {
+		// Greedily match an equality prefix, then one range column.
+		var eqKey datum.Row
+		matched := map[logical.Scalar]bool{}
+		var lo, hi datum.D
+		var loIncl, hiIncl bool
+		sel := 1.0
+		for depth, ord := range ix.Cols {
+			col, ok := o.ordToColID(scan, ord)
+			if !ok {
+				break
+			}
+			var eqConst datum.D
+			eqFound := false
+			for _, f := range filters {
+				if matched[f] {
+					continue
+				}
+				if v, ok := constEq(f, col); ok {
+					eqConst, eqFound = v, true
+					matched[f] = true
+					sel *= o.Est.Selectivity(f, scanStats)
+					break
+				}
+			}
+			if eqFound {
+				eqKey = append(eqKey, eqConst)
+				continue
+			}
+			// No equality at this depth: try range bounds, then stop.
+			for _, f := range filters {
+				if matched[f] {
+					continue
+				}
+				l, li, h, hi2, ok := rangeBound(f, col)
+				if !ok {
+					continue
+				}
+				matched[f] = true
+				sel *= o.Est.Selectivity(f, scanStats)
+				if !l.IsNull() {
+					lo, loIncl = l, li
+				}
+				if !h.IsNull() {
+					hi, hiIncl = h, hi2
+				}
+			}
+			_ = depth
+			break
+		}
+		qualified := len(eqKey) > 0 || !lo.IsNull() || !hi.IsNull()
+		if !qualified && !o.Opts.InterestingOrders {
+			continue // full index scan only pays off for its ordering
+		}
+		matchRows := tableRows * sel
+		var residual []logical.Scalar
+		for _, f := range filters {
+			if !matched[f] {
+				residual = append(residual, f)
+			}
+		}
+		cands = append(cands, &physical.IndexScan{
+			Props: physical.Props{
+				Rows: outRows,
+				Cost: o.Model.IndexScan(matchRows, tableRows, tablePages, ix.Clustered) +
+					o.Model.Filter(matchRows, len(residual)),
+			},
+			Table:   scan.Table,
+			Index:   ix,
+			Binding: scan.Binding,
+			Cols:    scan.Cols,
+			ColOrds: ords,
+			EqKey:   eqKey,
+			Lo:      lo, LoIncl: loIncl,
+			Hi: hi, HiIncl: hiIncl,
+			Filter: residual,
+		})
+	}
+	o.Metrics.PlansCosted += len(cands)
+	return cands
+}
+
+// leafPlans returns candidate plans for a DP leaf. Scan-shaped leaves get
+// access-path alternatives; anything else is optimized recursively into a
+// single candidate.
+func (o *Optimizer) leafPlans(leaf logical.RelExpr, interesting logical.ColSet) ([]physical.Plan, error) {
+	switch t := leaf.(type) {
+	case *logical.Scan:
+		return o.accessPaths(t, nil), nil
+	case *logical.Select:
+		if scan, ok := t.Input.(*logical.Scan); ok {
+			return o.accessPaths(scan, t.Filters), nil
+		}
+	}
+	p, err := o.optimize(leaf, interesting)
+	if err != nil {
+		return nil, err
+	}
+	return []physical.Plan{p}, nil
+}

@@ -1,0 +1,230 @@
+package systemr
+
+import (
+	"math"
+
+	"repro/internal/logical"
+	"repro/internal/physical"
+)
+
+// keyPair is one equi-join column pair aligned (left, right).
+type keyPair struct {
+	l, r logical.ColumnID
+}
+
+// classifyJoinPreds splits predicates into aligned equi-key pairs and
+// residual predicates, given the columns available on each side.
+func classifyJoinPreds(preds []logical.Scalar, leftCols, rightCols logical.ColSet) (keys []keyPair, extras []logical.Scalar) {
+	for _, p := range preds {
+		if l, r, ok := equiCols(p); ok {
+			switch {
+			case leftCols.Contains(l) && rightCols.Contains(r):
+				keys = append(keys, keyPair{l, r})
+				continue
+			case leftCols.Contains(r) && rightCols.Contains(l):
+				keys = append(keys, keyPair{r, l})
+				continue
+			}
+		}
+		extras = append(extras, p)
+	}
+	return keys, extras
+}
+
+func colSetOf(cols []logical.ColumnID) logical.ColSet {
+	var s logical.ColSet
+	for _, c := range cols {
+		s.Add(c)
+	}
+	return s
+}
+
+// joinCandidates generates the physical alternatives for joining left and
+// right plan sets under the given predicates: nested-loop, hash, sort-merge
+// (with sort enforcers as needed) and index nested-loop when the right side
+// is a base relation with a usable index.
+func (o *Optimizer) joinCandidates(kind logical.JoinKind, leftPlans, rightPlans []physical.Plan, rightLeaf logical.RelExpr, preds []logical.Scalar, outRows float64) []physical.Plan {
+	if len(leftPlans) == 0 || len(rightPlans) == 0 {
+		return nil
+	}
+	leftCols := colSetOf(leftPlans[0].Columns())
+	rightCols := colSetOf(rightPlans[0].Columns())
+	keys, extras := classifyJoinPreds(preds, leftCols, rightCols)
+
+	var out []physical.Plan
+	for _, l := range leftPlans {
+		lRows, lCost := l.Estimate()
+		for _, r := range rightPlans {
+			rRows, rCost := r.Estimate()
+			// Nested-loop join: always applicable.
+			out = append(out, &physical.NLJoin{
+				Props: physical.Props{Rows: outRows, Cost: lCost + o.Model.NLJoin(lRows, rRows, rCost)},
+				Kind:  kind, Left: l, Right: r, On: preds,
+			})
+			if len(keys) > 0 && !o.Opts.DisableHashJoin {
+				out = append(out, &physical.HashJoin{
+					Props: physical.Props{Rows: outRows, Cost: lCost + rCost + o.Model.HashJoin(lRows, rRows)},
+					Kind:  kind, Left: l, Right: r,
+					LeftKeys: pairLefts(keys), RightKeys: pairRights(keys), ExtraOn: extras,
+				})
+			}
+			if len(keys) > 0 && !o.Opts.DisableMergeJoin && kind != logical.FullOuterJoin {
+				out = append(out, o.mergeCandidate(kind, l, r, keys, extras, outRows))
+			}
+		}
+	}
+	// Index nested-loop: right side must be a single base relation.
+	if rightLeaf != nil && len(keys) > 0 && !o.Opts.DisableINLJoin &&
+		(kind == logical.InnerJoin || kind == logical.LeftOuterJoin || kind == logical.SemiJoin || kind == logical.AntiJoin) {
+		for _, l := range leftPlans {
+			if p := o.inlCandidate(kind, l, rightLeaf, keys, extras, outRows); p != nil {
+				out = append(out, p)
+			}
+		}
+	}
+	o.Metrics.PlansCosted += len(out)
+	return out
+}
+
+func pairLefts(keys []keyPair) []logical.ColumnID {
+	out := make([]logical.ColumnID, len(keys))
+	for i, k := range keys {
+		out[i] = k.l
+	}
+	return out
+}
+
+func pairRights(keys []keyPair) []logical.ColumnID {
+	out := make([]logical.ColumnID, len(keys))
+	for i, k := range keys {
+		out[i] = k.r
+	}
+	return out
+}
+
+// mergeCandidate builds a sort-merge join, adding Sort enforcers for inputs
+// whose existing ordering does not already cover the keys — the mechanism by
+// which interesting orders pay off.
+func (o *Optimizer) mergeCandidate(kind logical.JoinKind, l, r physical.Plan, keys []keyPair, extras []logical.Scalar, outRows float64) physical.Plan {
+	var lWant, rWant logical.Ordering
+	for _, k := range keys {
+		lWant = append(lWant, logical.OrderSpec{Col: k.l})
+		rWant = append(rWant, logical.OrderSpec{Col: k.r})
+	}
+	lRows, lCost := l.Estimate()
+	if !lWant.SatisfiedBy(l.Ordering()) {
+		lCost += o.Model.Sort(lRows)
+		l = &physical.Sort{Props: physical.Props{Rows: lRows, Cost: lCost}, Input: l, By: lWant}
+	}
+	rRows, rCost := r.Estimate()
+	if !rWant.SatisfiedBy(r.Ordering()) {
+		rCost += o.Model.Sort(rRows)
+		r = &physical.Sort{Props: physical.Props{Rows: rRows, Cost: rCost}, Input: r, By: rWant}
+	}
+	return &physical.MergeJoin{
+		Props: physical.Props{Rows: outRows, Cost: lCost + rCost + o.Model.MergeJoin(lRows, rRows)},
+		Kind:  kind, Left: l, Right: r,
+		LeftKeys: pairLefts(keys), RightKeys: pairRights(keys), ExtraOn: extras,
+	}
+}
+
+// inlCandidate builds an index nested-loop join probing an index of the
+// right base relation, or nil when no index matches the join keys.
+func (o *Optimizer) inlCandidate(kind logical.JoinKind, l physical.Plan, rightLeaf logical.RelExpr, keys []keyPair, extras []logical.Scalar, outRows float64) physical.Plan {
+	scan, localFilters := scanOf(rightLeaf)
+	if scan == nil {
+		return nil
+	}
+	rStats := o.Est.Stats(scan)
+	tableRows, tablePages := tableShape(scan, o.Est.Meta)
+
+	var best physical.Plan
+	bestCost := math.Inf(1)
+	for _, ix := range scan.Table.Indexes {
+		// Match the longest prefix of index columns against join keys.
+		var leftKeys []logical.ColumnID
+		used := map[int]bool{}
+		for _, ord := range ix.Cols {
+			col, ok := o.ordToColID(scan, ord)
+			if !ok {
+				break
+			}
+			found := -1
+			for ki, k := range keys {
+				if !used[ki] && k.r == col {
+					found = ki
+					break
+				}
+			}
+			if found < 0 {
+				break
+			}
+			used[found] = true
+			leftKeys = append(leftKeys, keys[found].l)
+		}
+		if len(leftKeys) == 0 {
+			continue
+		}
+		// Residuals: unmatched equi keys plus extras plus right-local preds.
+		var residual []logical.Scalar
+		for ki, k := range keys {
+			if !used[ki] {
+				residual = append(residual, &logical.Cmp{Op: logical.CmpEq, L: &logical.Col{ID: k.l}, R: &logical.Col{ID: k.r}})
+			}
+		}
+		residual = append(residual, extras...)
+		residual = append(residual, localFilters...)
+
+		// Matches per outer probe from the index's distinct keys.
+		dist := ix.DistinctKeys
+		if dist <= 0 {
+			if cs, ok := rStats.Cols[mustColID(o, scan, ix.Cols[0])]; ok && cs != nil {
+				dist = cs.Distinct
+			}
+		}
+		if dist <= 0 {
+			dist = 1
+		}
+		matchPerOuter := tableRows / dist
+		lRows, lCost := l.Estimate()
+		cost := lCost + o.Model.INLJoin(lRows, matchPerOuter, tableRows, tablePages, ix.Clustered) +
+			o.Model.Filter(lRows*matchPerOuter, len(residual))
+		if cost >= bestCost {
+			continue
+		}
+		bestCost = cost
+		best = &physical.INLJoin{
+			Props:    physical.Props{Rows: outRows, Cost: cost},
+			Kind:     kind,
+			Left:     l,
+			Table:    scan.Table,
+			Index:    ix,
+			Binding:  scan.Binding,
+			Cols:     scan.Cols,
+			ColOrds:  o.scanOrds(scan.Cols),
+			LeftKeys: leftKeys,
+			ExtraOn:  residual,
+		}
+	}
+	return best
+}
+
+func mustColID(o *Optimizer, scan *logical.Scan, ord int) logical.ColumnID {
+	if id, ok := o.ordToColID(scan, ord); ok {
+		return id
+	}
+	return 0
+}
+
+// scanOf unwraps a leaf into its Scan and any local filters.
+func scanOf(leaf logical.RelExpr) (*logical.Scan, []logical.Scalar) {
+	switch t := leaf.(type) {
+	case *logical.Scan:
+		return t, nil
+	case *logical.Select:
+		if s, ok := t.Input.(*logical.Scan); ok {
+			return s, t.Filters
+		}
+	}
+	return nil, nil
+}

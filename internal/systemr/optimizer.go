@@ -1,0 +1,290 @@
+// Package systemr implements the System-R optimizer of Section 3 of the
+// paper: bottom-up dynamic-programming join enumeration over linear (or,
+// optionally, bushy) join sequences, cost-based access path selection, and
+// pruning moderated by interesting orders. A naive O(n!) enumerator is
+// included as the baseline the paper compares DP against.
+package systemr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/stats"
+)
+
+// Options tunes the search space — the knobs §4.1.1 describes.
+type Options struct {
+	// Bushy admits bushy join trees; otherwise only linear (left-deep)
+	// sequences are enumerated, as in System R.
+	Bushy bool
+	// CartesianProducts admits joins between disconnected subgraphs. System
+	// R deferred Cartesian products; enabling them helps star queries.
+	CartesianProducts bool
+	// InterestingOrders keeps the best plan per interesting order instead
+	// of a single best plan per subset.
+	InterestingOrders bool
+	// DisableINLJoin / DisableMergeJoin / DisableHashJoin shrink the
+	// physical operator repertoire (System R had only NL and sort-merge).
+	DisableINLJoin   bool
+	DisableMergeJoin bool
+	DisableHashJoin  bool
+	// MaxRelations caps DP enumeration (beyond it, a greedy fallback runs).
+	MaxRelations int
+}
+
+// DefaultOptions mirrors classical System R: linear joins, no Cartesian
+// products, interesting orders on.
+func DefaultOptions() Options {
+	return Options{InterestingOrders: true, MaxRelations: 16}
+}
+
+// Metrics counts enumeration work for the experiments (E2, E4, E14).
+type Metrics struct {
+	PlansCosted    int // physical plan alternatives costed
+	SubsetsVisited int // DP table entries (relation subsets) expanded
+	EntriesKept    int // plans retained after pruning
+}
+
+// Optimizer drives optimization of a logical query into a physical plan.
+type Optimizer struct {
+	Est     *stats.Estimator
+	Model   cost.Model
+	Opts    Options
+	Metrics Metrics
+	// requiredOrder is the query's ORDER BY; the DP's final selection
+	// compares order-providing plans against cheapest-plus-sort (§3's
+	// payoff for retaining interesting orders).
+	requiredOrder logical.Ordering
+}
+
+// New returns an optimizer over the given estimator and cost model.
+func New(est *stats.Estimator, model cost.Model, opts Options) *Optimizer {
+	if opts.MaxRelations <= 0 {
+		opts.MaxRelations = 16
+	}
+	return &Optimizer{Est: est, Model: model, Opts: opts}
+}
+
+// Optimize produces a physical plan for the query. The query's ORDER BY is
+// treated as an interesting order: if the chosen plan does not provide it,
+// a Sort enforcer is added at the root.
+func (o *Optimizer) Optimize(q *logical.Query) (physical.Plan, error) {
+	interesting := o.interestingCols(q)
+	o.requiredOrder = q.OrderBy
+	defer func() { o.requiredOrder = nil }()
+	return o.optimizeRoot(q, interesting, o.optimize)
+}
+
+// optimizeRoot applies the ORDER BY enforcer in the right place relative to
+// a root LIMIT (SQL sorts before limiting).
+func (o *Optimizer) optimizeRoot(q *logical.Query, interesting logical.ColSet,
+	inner func(logical.RelExpr, logical.ColSet) (physical.Plan, error)) (physical.Plan, error) {
+	root := q.Root
+	var limitN int64 = -1
+	if lim, ok := root.(*logical.Limit); ok && len(q.OrderBy) > 0 {
+		root = lim.Input
+		limitN = lim.N
+	}
+	plan, err := inner(root, interesting)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 && !q.OrderBy.SatisfiedBy(plan.Ordering()) {
+		rows, c := plan.Estimate()
+		plan = &physical.Sort{
+			Props: physical.Props{Rows: rows, Cost: c + o.Model.Sort(rows)},
+			Input: plan,
+			By:    q.OrderBy,
+		}
+	}
+	if limitN >= 0 {
+		rows, c := plan.Estimate()
+		if float64(limitN) < rows {
+			rows = float64(limitN)
+		}
+		plan = &physical.LimitOp{
+			Props: physical.Props{Rows: rows, Cost: c + o.Model.Limit(rows)},
+			Input: plan, N: limitN,
+		}
+	}
+	return plan, nil
+}
+
+// interestingCols collects columns whose orderings are potentially
+// consequential (§3): ORDER BY and GROUP BY columns. Join columns are added
+// inside the DP per block.
+func (o *Optimizer) interestingCols(q *logical.Query) logical.ColSet {
+	var set logical.ColSet
+	for _, s := range q.OrderBy {
+		set.Add(s.Col)
+	}
+	logical.VisitRel(q.Root, func(e logical.RelExpr) {
+		if g, ok := e.(*logical.GroupBy); ok {
+			for _, c := range g.GroupCols {
+				set.Add(c)
+			}
+		}
+	})
+	return set
+}
+
+// optimize recursively maps a logical tree to a physical plan. Inner-join
+// blocks are handed to the DP enumerator; other operators are mapped
+// directly with local algorithm choices.
+func (o *Optimizer) optimize(e logical.RelExpr, interesting logical.ColSet) (physical.Plan, error) {
+	switch t := e.(type) {
+	case *logical.Scan:
+		cands := o.accessPaths(t, nil)
+		return cheapest(cands), nil
+	case *logical.Values:
+		rows := float64(len(t.Rows))
+		return &physical.ValuesOp{
+			Props: physical.Props{Rows: rows, Cost: o.Model.Values(rows)},
+			Cols:  t.Cols, Rows: t.Rows,
+		}, nil
+	case *logical.Select:
+		return o.optimizeBlock(e, interesting)
+	case *logical.Join:
+		if t.Kind == logical.InnerJoin {
+			return o.optimizeBlock(e, interesting)
+		}
+		left, err := o.optimize(t.Left, interesting)
+		if err != nil {
+			return nil, err
+		}
+		right, err := o.optimize(t.Right, interesting)
+		if err != nil {
+			return nil, err
+		}
+		rows := o.Est.Stats(t).Rows
+		cands := o.joinCandidates(t.Kind, []physical.Plan{left}, []physical.Plan{right}, t.Right, t.On, rows)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("systemr: no join candidates for %v", t.Kind)
+		}
+		return cheapest(cands), nil
+	case *logical.Project:
+		in, err := o.optimize(t.Input, interesting)
+		if err != nil {
+			return nil, err
+		}
+		rows, c := in.Estimate()
+		return &physical.Project{
+			Props: physical.Props{Rows: rows, Cost: c + o.Model.Project(rows, len(t.Items))},
+			Input: in, Items: t.Items,
+		}, nil
+	case *logical.GroupBy:
+		return o.optimizeGroupBy(t, interesting)
+	case *logical.Limit:
+		in, err := o.optimize(t.Input, interesting)
+		if err != nil {
+			return nil, err
+		}
+		rows, c := in.Estimate()
+		outRows := math.Min(rows, float64(t.N))
+		return &physical.LimitOp{
+			Props: physical.Props{Rows: outRows, Cost: c + o.Model.Limit(outRows)},
+			Input: in, N: t.N,
+		}, nil
+	case *logical.Union:
+		left, err := o.optimize(t.Left, interesting)
+		if err != nil {
+			return nil, err
+		}
+		right, err := o.optimize(t.Right, interesting)
+		if err != nil {
+			return nil, err
+		}
+		lr, lc := left.Estimate()
+		rr, rc := right.Estimate()
+		rows := lr + rr
+		return &physical.UnionAll{
+			Props: physical.Props{Rows: rows, Cost: lc + rc + rows*o.Model.CPUTuple},
+			Left:  left, Right: right,
+			LeftCols: t.LeftCols, RightCols: t.RightCols, Cols: t.Cols,
+		}, nil
+	}
+	return nil, fmt.Errorf("systemr: cannot optimize %T", e)
+}
+
+// blockRoot reports whether e roots an inner-join block with more than one
+// relation (worth DP enumeration).
+func blockRoot(e logical.RelExpr) bool {
+	leaves, _, ok := logical.ExtractJoinBlock(e)
+	return ok && len(leaves) > 1
+}
+
+// addFilter wraps a plan with a Filter node (costed).
+func (o *Optimizer) addFilter(in physical.Plan, preds []logical.Scalar) physical.Plan {
+	rows, c := in.Estimate()
+	// Without a logical handle we scale rows by the default selectivity per
+	// predicate; block optimization paths use the estimator instead.
+	out := rows
+	for range preds {
+		out *= stats.DefaultSel
+	}
+	return &physical.Filter{
+		Props: physical.Props{Rows: out, Cost: c + o.Model.Filter(rows, len(preds))},
+		Input: in, Preds: preds,
+	}
+}
+
+// optimizeGroupBy picks hash vs. (sorted) stream aggregation.
+func (o *Optimizer) optimizeGroupBy(g *logical.GroupBy, interesting logical.ColSet) (physical.Plan, error) {
+	for _, c := range g.GroupCols {
+		interesting = interesting.Copy()
+		interesting.Add(c)
+	}
+	in, err := o.optimize(g.Input, interesting)
+	if err != nil {
+		return nil, err
+	}
+	inRows, inCost := in.Estimate()
+	outRows := o.Est.Stats(g).Rows
+
+	hash := &physical.HashGroupBy{
+		Props: physical.Props{Rows: outRows, Cost: inCost + o.Model.HashGroupBy(inRows, len(g.Aggs))},
+		Input: in, GroupCols: g.GroupCols, Aggs: g.Aggs,
+	}
+	o.Metrics.PlansCosted++
+	var want logical.Ordering
+	for _, c := range g.GroupCols {
+		want = append(want, logical.OrderSpec{Col: c})
+	}
+	var stream physical.Plan
+	if len(g.GroupCols) > 0 {
+		src := in
+		srcCost := inCost
+		if !want.SatisfiedBy(in.Ordering()) {
+			srcCost += o.Model.Sort(inRows)
+			src = &physical.Sort{Props: physical.Props{Rows: inRows, Cost: srcCost}, Input: in, By: want}
+		}
+		stream = &physical.StreamGroupBy{
+			Props: physical.Props{Rows: outRows, Cost: srcCost + o.Model.StreamGroupBy(inRows, len(g.Aggs))},
+			Input: src, GroupCols: g.GroupCols, Aggs: g.Aggs,
+		}
+		o.Metrics.PlansCosted++
+	}
+	if stream != nil {
+		_, hc := hash.Estimate()
+		_, sc := stream.Estimate()
+		if sc < hc {
+			return stream, nil
+		}
+	}
+	return hash, nil
+}
+
+// cheapest returns the lowest-cost plan of a non-empty candidate list.
+func cheapest(cands []physical.Plan) physical.Plan {
+	best := cands[0]
+	_, bestCost := best.Estimate()
+	for _, c := range cands[1:] {
+		if _, cc := c.Estimate(); cc < bestCost {
+			best, bestCost = c, cc
+		}
+	}
+	return best
+}

@@ -1,0 +1,254 @@
+// Package udp implements the expensive user-defined-predicate optimization
+// of §7.2 of the paper. A UDP is characterized by a per-tuple evaluation cost
+// and a selectivity; unlike cheap predicates, pushing it to the earliest
+// point is no longer a sound heuristic.
+//
+// Three strategies are implemented and compared by E15:
+//
+//   - PushdownPlacement: the classical heuristic (evaluate ASAP) — wrong for
+//     expensive predicates.
+//   - RankPlacement: Hellerstein/Stonebraker predicate migration — order
+//     predicates by rank = (1 - selectivity) / cost; provably optimal when
+//     the query has no joins, but possibly suboptimal with joins.
+//   - OptimalPlacement: the Chaudhuri–Shim approach — treat "which UDPs have
+//     been applied" as a physical property of the plan and extend dynamic
+//     programming over (join step, applied set); optimal, and polynomial in
+//     the number of predicates for regular cost models.
+package udp
+
+import (
+	"math"
+	"sort"
+)
+
+// Predicate is one expensive predicate over the pipeline's rows.
+type Predicate struct {
+	Name string
+	// Cost is the per-tuple evaluation cost.
+	Cost float64
+	// Sel is the fraction of tuples that pass.
+	Sel float64
+}
+
+// Rank returns the predicate's rank. Evaluating predicates in *decreasing*
+// rank order minimizes expected cost on a fixed stream: high rank = large
+// selectivity payoff per unit cost.
+func (p Predicate) Rank() float64 {
+	if p.Cost <= 0 {
+		return math.Inf(1)
+	}
+	return (1 - p.Sel) / p.Cost
+}
+
+// JoinStep describes one join in a left-deep pipeline: the factor by which
+// the running cardinality is multiplied and the per-input-tuple cost of
+// performing the join.
+type JoinStep struct {
+	Name string
+	// Factor multiplies the running row count (fanout; < 1 for selective
+	// joins, > 1 for expanding ones).
+	Factor float64
+	// CostPerRow is the processing cost per input row.
+	CostPerRow float64
+}
+
+// Pipeline is the scenario: an initial row count, a sequence of joins, and a
+// set of UDPs that may be evaluated at any position among the joins.
+type Pipeline struct {
+	InputRows float64
+	Joins     []JoinStep
+	Preds     []Predicate
+}
+
+// Placement maps each predicate (by index into Preds) to the join position
+// it is applied after: 0 = before every join, len(Joins) = after all joins.
+type Placement []int
+
+// SequenceCost evaluates predicates in the given order over a fixed stream
+// of rows (the no-join case): cost = Σ rows_i · cost_i with rows shrinking
+// by each selectivity.
+func SequenceCost(rows float64, preds []Predicate) float64 {
+	total := 0.0
+	for _, p := range preds {
+		total += rows * p.Cost
+		rows *= p.Sel
+	}
+	return total
+}
+
+// RankOrder returns the predicates sorted by decreasing rank — the optimal
+// order for the no-join case ([29,30]).
+func RankOrder(preds []Predicate) []Predicate {
+	out := append([]Predicate{}, preds...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rank() > out[j].Rank() })
+	return out
+}
+
+// OptimalSequence exhaustively finds the cheapest evaluation order for a
+// fixed stream (test oracle for RankOrder).
+func OptimalSequence(rows float64, preds []Predicate) ([]Predicate, float64) {
+	n := len(preds)
+	best := append([]Predicate{}, preds...)
+	bestCost := SequenceCost(rows, best)
+	perm := append([]Predicate{}, preds...)
+	var walk func(k int)
+	walk = func(k int) {
+		if k == n {
+			if c := SequenceCost(rows, perm); c < bestCost {
+				bestCost = c
+				copy(best, perm)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			walk(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	walk(0)
+	return best, bestCost
+}
+
+// Cost evaluates the total cost of the pipeline under a placement: at each
+// position, pending predicates assigned there run (in rank order among
+// themselves — optimal within a position), then the next join runs.
+func (pl *Pipeline) Cost(place Placement) float64 {
+	rows := pl.InputRows
+	total := 0.0
+	for pos := 0; pos <= len(pl.Joins); pos++ {
+		// Apply the predicates placed at this position, best rank first.
+		var here []Predicate
+		for pi, p := range pl.Preds {
+			if place[pi] == pos {
+				here = append(here, p)
+			}
+		}
+		here = RankOrder(here)
+		for _, p := range here {
+			total += rows * p.Cost
+			rows *= p.Sel
+		}
+		if pos < len(pl.Joins) {
+			j := pl.Joins[pos]
+			total += rows * j.CostPerRow
+			rows *= j.Factor
+		}
+	}
+	return total
+}
+
+// PushdownPlacement applies every predicate before the first join.
+func (pl *Pipeline) PushdownPlacement() Placement {
+	place := make(Placement, len(pl.Preds))
+	return place
+}
+
+// PullupPlacement applies every predicate after the last join.
+func (pl *Pipeline) PullupPlacement() Placement {
+	place := make(Placement, len(pl.Preds))
+	for i := range place {
+		place[i] = len(pl.Joins)
+	}
+	return place
+}
+
+// RankPlacement interleaves predicates with joins by rank (predicate
+// migration): joins are treated as pseudo-predicates with rank
+// (1 - factor)/costPerRow, and every predicate is placed at the first
+// position where its rank exceeds the next join's rank. This is the
+// heuristic §7.2 notes may be suboptimal once joins are present.
+func (pl *Pipeline) RankPlacement() Placement {
+	place := make(Placement, len(pl.Preds))
+	for pi, p := range pl.Preds {
+		pos := 0
+		for ji, j := range pl.Joins {
+			jRank := math.Inf(1)
+			if j.CostPerRow > 0 {
+				jRank = (1 - j.Factor) / j.CostPerRow
+			}
+			if p.Rank() >= jRank {
+				break
+			}
+			pos = ji + 1
+		}
+		place[pi] = pos
+	}
+	return place
+}
+
+// OptimalPlacement runs dynamic programming over (join position, set of
+// applied predicates) — the applied set is the physical property of [8]. It
+// returns the minimal cost placement. Exponential in len(Preds) in this
+// general form; the paper's polynomial bound holds for regular cost models
+// where only rank order matters, which the DP exploits implicitly by
+// pruning dominated states.
+func (pl *Pipeline) OptimalPlacement() (Placement, float64) {
+	n := len(pl.Preds)
+	if n > 20 {
+		return pl.RankPlacement(), pl.Cost(pl.RankPlacement())
+	}
+	type state struct {
+		cost float64
+		rows float64
+		// choice[mask] reconstructs the predicates applied at each step.
+		place Placement
+	}
+	full := (1 << uint(n)) - 1
+	// states[mask] = best (cost, rows) having applied exactly mask's
+	// predicates before the current join position.
+	cur := map[int]state{0: {cost: 0, rows: pl.InputRows, place: make(Placement, n)}}
+	for pos := 0; pos <= len(pl.Joins); pos++ {
+		// Expand: apply any subset of pending predicates at this position.
+		next := map[int]state{}
+		consider := func(mask int, s state) {
+			if old, ok := next[mask]; !ok || s.cost < old.cost {
+				next[mask] = s
+			}
+		}
+		for mask, s := range cur {
+			// Enumerate supersets reachable by applying pending preds in
+			// rank order (applying in any other order is never better).
+			pending := full &^ mask
+			// Order pending by rank.
+			var idx []int
+			for i := 0; i < n; i++ {
+				if pending&(1<<uint(i)) != 0 {
+					idx = append(idx, i)
+				}
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				return pl.Preds[idx[a]].Rank() > pl.Preds[idx[b]].Rank()
+			})
+			// Prefixes of the rank order (including empty).
+			m, cst, rws := mask, s.cost, s.rows
+			pplace := append(Placement{}, s.place...)
+			consider(m, state{cost: cst, rows: rws, place: pplace})
+			for _, i := range idx {
+				cst += rws * pl.Preds[i].Cost
+				rws *= pl.Preds[i].Sel
+				m |= 1 << uint(i)
+				np := append(Placement{}, pplace...)
+				np[i] = pos
+				pplace = np
+				consider(m, state{cost: cst, rows: rws, place: pplace})
+			}
+		}
+		// Perform the join at this position.
+		if pos < len(pl.Joins) {
+			j := pl.Joins[pos]
+			for mask, s := range next {
+				s.cost += s.rows * j.CostPerRow
+				s.rows *= j.Factor
+				next[mask] = s
+			}
+		}
+		cur = next
+	}
+	best, ok := cur[full]
+	if !ok {
+		p := pl.PushdownPlacement()
+		return p, pl.Cost(p)
+	}
+	return best.place, best.cost
+}

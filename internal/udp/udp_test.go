@@ -1,0 +1,158 @@
+package udp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRankOrderOptimalWithoutJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		preds := make([]Predicate, n)
+		for i := range preds {
+			preds[i] = Predicate{
+				Name: string(rune('a' + i)),
+				Cost: 0.1 + rng.Float64()*10,
+				Sel:  0.05 + rng.Float64()*0.9,
+			}
+		}
+		rows := 1000.0
+		ranked := RankOrder(preds)
+		rankCost := SequenceCost(rows, ranked)
+		_, optCost := OptimalSequence(rows, preds)
+		if rankCost > optCost*1.0000001 {
+			t.Fatalf("trial %d: rank order cost %v > optimal %v (preds %+v)", trial, rankCost, optCost, preds)
+		}
+	}
+}
+
+func TestRankOrderDecreasingRank(t *testing.T) {
+	preds := []Predicate{
+		{Name: "slow-selective", Cost: 10, Sel: 0.01},
+		{Name: "fast-unselective", Cost: 0.1, Sel: 0.9},
+		{Name: "fast-selective", Cost: 0.1, Sel: 0.1},
+	}
+	out := RankOrder(preds)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Rank() < out[i].Rank() {
+			t.Fatalf("not sorted by rank: %+v", out)
+		}
+	}
+	if out[0].Name != "fast-selective" {
+		t.Errorf("fast selective predicate should run first, got %s", out[0].Name)
+	}
+}
+
+func TestZeroCostRank(t *testing.T) {
+	p := Predicate{Cost: 0, Sel: 0.5}
+	if !math.IsInf(p.Rank(), 1) {
+		t.Error("free predicates have infinite rank")
+	}
+}
+
+// expensivePipeline reproduces the §7.2 scenario: an expensive predicate on
+// the outer relation of a highly selective join. Pushing the predicate down
+// evaluates it on every outer row; the optimal plan defers it until the join
+// has discarded most rows.
+func expensivePipeline() *Pipeline {
+	return &Pipeline{
+		InputRows: 100000,
+		Joins: []JoinStep{
+			{Name: "selective-join", Factor: 0.001, CostPerRow: 0.01},
+		},
+		Preds: []Predicate{
+			{Name: "image-match", Cost: 50, Sel: 0.5},
+		},
+	}
+}
+
+func TestPushdownNotSoundForExpensivePreds(t *testing.T) {
+	pl := expensivePipeline()
+	push := pl.Cost(pl.PushdownPlacement())
+	pull := pl.Cost(pl.PullupPlacement())
+	if pull >= push {
+		t.Fatalf("deferring the expensive predicate should win: pull=%v push=%v", pull, push)
+	}
+	_, opt := pl.OptimalPlacement()
+	if opt > pull*1.0000001 {
+		t.Errorf("optimal (%v) must be at least as good as pull-up (%v)", opt, pull)
+	}
+}
+
+func TestOptimalNeverWorseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		nJoins := 1 + rng.Intn(3)
+		nPreds := 1 + rng.Intn(4)
+		pl := &Pipeline{InputRows: 1000 + rng.Float64()*100000}
+		for j := 0; j < nJoins; j++ {
+			pl.Joins = append(pl.Joins, JoinStep{
+				Factor:     0.001 + rng.Float64()*3,
+				CostPerRow: 0.001 + rng.Float64(),
+			})
+		}
+		for p := 0; p < nPreds; p++ {
+			pl.Preds = append(pl.Preds, Predicate{
+				Cost: 0.01 + rng.Float64()*100,
+				Sel:  0.01 + rng.Float64()*0.98,
+			})
+		}
+		place, opt := pl.OptimalPlacement()
+		if got := pl.Cost(place); math.Abs(got-opt) > 1e-6*math.Max(1, opt) {
+			t.Fatalf("trial %d: DP cost %v != replayed placement cost %v", trial, opt, got)
+		}
+		for name, alt := range map[string]Placement{
+			"pushdown": pl.PushdownPlacement(),
+			"pullup":   pl.PullupPlacement(),
+			"rank":     pl.RankPlacement(),
+		} {
+			if c := pl.Cost(alt); opt > c*1.0000001 {
+				t.Fatalf("trial %d: optimal %v worse than %s %v\npipeline: %+v", trial, opt, name, c, pl)
+			}
+		}
+	}
+}
+
+func TestRankHeuristicSuboptimalWithJoins(t *testing.T) {
+	// Construct a case where interleaving by rank misplaces a predicate:
+	// an expanding join (factor > 1) followed by a reducing join. The rank
+	// heuristic compares only against the next join, missing the global
+	// structure.
+	found := false
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000 && !found; trial++ {
+		pl := &Pipeline{InputRows: 10000}
+		for j := 0; j < 2; j++ {
+			pl.Joins = append(pl.Joins, JoinStep{
+				Factor:     0.01 + rng.Float64()*4,
+				CostPerRow: 0.001 + rng.Float64()*0.1,
+			})
+		}
+		for p := 0; p < 2; p++ {
+			pl.Preds = append(pl.Preds, Predicate{
+				Cost: 0.1 + rng.Float64()*50,
+				Sel:  0.05 + rng.Float64()*0.9,
+			})
+		}
+		_, opt := pl.OptimalPlacement()
+		if rankCost := pl.Cost(pl.RankPlacement()); rankCost > opt*1.05 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected to find a scenario where the rank heuristic is suboptimal with joins")
+	}
+}
+
+func TestOptimalPlacementLargeFallsBack(t *testing.T) {
+	pl := &Pipeline{InputRows: 100, Joins: []JoinStep{{Factor: 0.5, CostPerRow: 0.1}}}
+	for i := 0; i < 25; i++ {
+		pl.Preds = append(pl.Preds, Predicate{Cost: 1, Sel: 0.5})
+	}
+	place, c := pl.OptimalPlacement()
+	if len(place) != 25 || c <= 0 {
+		t.Error("large instance should fall back to the rank heuristic")
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestEmpDeptShape(t *testing.T) {
+	db := EmpDept(EmpDeptConfig{Emps: 500, Depts: 25, Seed: 1})
+	emp, ok := db.Cat.Table("Emp")
+	if !ok {
+		t.Fatal("Emp missing")
+	}
+	if len(emp.Cols) != 6 || emp.ClusteredIndex() == nil {
+		t.Error("Emp schema wrong")
+	}
+	et, _ := db.Store.Table("emp")
+	if et.RowCount() != 500 {
+		t.Errorf("emp rows = %d", et.RowCount())
+	}
+	dt, _ := db.Store.Table("dept")
+	if dt.RowCount() != 25 {
+		t.Errorf("dept rows = %d", dt.RowCount())
+	}
+	// FK integrity: every non-NULL did must reference an existing dept.
+	for _, r := range et.Rows() {
+		if r[2].IsNull() {
+			continue
+		}
+		if d := r[2].Int(); d < 0 || d >= 25 {
+			t.Fatalf("dangling did %d", d)
+		}
+	}
+	db.Analyze(stats.AnalyzeOptions{})
+	if emp.Stats.RowCount != 500 {
+		t.Error("analyze did not populate stats")
+	}
+}
+
+func TestEmpDeptDefaults(t *testing.T) {
+	db := EmpDept(EmpDeptConfig{})
+	et, _ := db.Store.Table("emp")
+	if et.RowCount() != 10000 {
+		t.Errorf("default emps = %d", et.RowCount())
+	}
+}
+
+func TestEmpDeptDeterministic(t *testing.T) {
+	a := EmpDept(EmpDeptConfig{Emps: 50, Depts: 5, Seed: 9})
+	b := EmpDept(EmpDeptConfig{Emps: 50, Depts: 5, Seed: 9})
+	at, _ := a.Store.Table("emp")
+	bt, _ := b.Store.Table("emp")
+	for i := 0; i < 50; i++ {
+		if at.Row(i).String() != bt.Row(i).String() {
+			t.Fatalf("row %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	db := Star(StarConfig{FactRows: 1000, DimRows: []int{10, 20}, Seed: 2})
+	fact, ok := db.Cat.Table("sales")
+	if !ok {
+		t.Fatal("sales missing")
+	}
+	// k1, k2, qty, amount.
+	if len(fact.Cols) != 4 {
+		t.Errorf("fact cols = %d", len(fact.Cols))
+	}
+	// Per-key indexes plus the composite index.
+	if len(fact.Indexes) != 3 {
+		t.Errorf("fact indexes = %d, want 3", len(fact.Indexes))
+	}
+	ft, _ := db.Store.Table("sales")
+	for _, r := range ft.Rows() {
+		if k := r[0].Int(); k < 0 || k >= 10 {
+			t.Fatalf("k1 out of range: %d", k)
+		}
+		if k := r[1].Int(); k < 0 || k >= 20 {
+			t.Fatalf("k2 out of range: %d", k)
+		}
+	}
+}
+
+func TestStarSkew(t *testing.T) {
+	db := Star(StarConfig{FactRows: 20000, DimRows: []int{100}, Seed: 3, Skew: 1.5})
+	ft, _ := db.Store.Table("sales")
+	freq := map[int64]int{}
+	for _, r := range ft.Rows() {
+		freq[r[0].Int()]++
+	}
+	// Zipfian: key 0 should dominate.
+	if freq[0] < 20000/10 {
+		t.Errorf("skewed fact should concentrate on key 0, got %d", freq[0])
+	}
+}
+
+func TestChainAndQueries(t *testing.T) {
+	db := Chain(ChainConfig{Tables: 4, Seed: 4})
+	for i := 1; i <= 4; i++ {
+		tab, ok := db.Store.Table(fmt.Sprintf("r%d", i))
+		if !ok {
+			t.Fatalf("r%d missing", i)
+		}
+		if tab.RowCount() != 1000 {
+			t.Errorf("r%d rows = %d", i, tab.RowCount())
+		}
+	}
+	q := ChainQuery(4)
+	for _, frag := range []string{"FROM r1, r2, r3, r4", "r1.fk = r2.pk", "r3.fk = r4.pk"} {
+		if !contains(q, frag) {
+			t.Errorf("ChainQuery missing %q: %s", frag, q)
+		}
+	}
+	sq := StarQuery(2, 5)
+	for _, frag := range []string{"sales.k1 = dim1.k", "dim2.filt < 5", "GROUP BY"} {
+		if !contains(sq, frag) {
+			t.Errorf("StarQuery missing %q: %s", frag, sq)
+		}
+	}
+	if contains(StarQuery(1, 0), "filt <") {
+		t.Error("filtMax 0 should omit filters")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,536 @@
+// Package queryopt is an embedded relational engine whose optimizer
+// reproduces "An Overview of Query Optimization in Relational Systems"
+// (Chaudhuri, PODS 1998): System-R dynamic programming with interesting
+// orders, a Starburst-style rewrite phase over a QGM, a Volcano/Cascades
+// memo optimizer, histogram-based statistics, the major algebraic
+// transformations (subquery unnesting, eager aggregation, magic semijoins,
+// outerjoin reordering), materialized-view answering, expensive-predicate
+// placement and two-phase parallel optimization.
+//
+// Quick start:
+//
+//	eng := queryopt.New(queryopt.Options{})
+//	eng.MustExec(`CREATE TABLE emp (eid INT NOT NULL, name VARCHAR, did INT, sal FLOAT)`)
+//	eng.MustExec(`INSERT INTO emp VALUES (1, 'alice', 10, 120.5)`)
+//	eng.MustExec(`ANALYZE emp`)
+//	res, err := eng.Exec(`SELECT name FROM emp WHERE sal > 100`)
+package queryopt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/matview"
+	"repro/internal/physical"
+	"repro/internal/qgm"
+	"repro/internal/rewrite"
+	"repro/internal/sql"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/systemr"
+
+	cascadesopt "repro/internal/cascades"
+)
+
+// OptimizerKind selects the enumeration architecture (§3 / §6).
+type OptimizerKind uint8
+
+// Optimizer architectures.
+const (
+	// SystemR: bottom-up dynamic programming with interesting orders (§3).
+	SystemR OptimizerKind = iota
+	// Starburst: QGM rewrite phase, then bottom-up plan optimization (§6.1).
+	Starburst
+	// Cascades: single-phase top-down memo search (§6.2).
+	Cascades
+	// Reference executes the normalized logical tree directly with the
+	// naive evaluator (no optimization) — the correctness baseline.
+	Reference
+)
+
+func (k OptimizerKind) String() string {
+	switch k {
+	case SystemR:
+		return "system-r"
+	case Starburst:
+		return "starburst"
+	case Cascades:
+		return "cascades"
+	case Reference:
+		return "reference"
+	}
+	return "?"
+}
+
+// Options configures an Engine.
+type Options struct {
+	Optimizer OptimizerKind
+	// DisableRewrites turns off the §4 transformations (unnesting etc.) for
+	// SystemR/Cascades runs; Starburst always runs its rewrite phase.
+	DisableRewrites bool
+	// UseMaterializedViews enables transparent view answering (§7.3).
+	UseMaterializedViews bool
+	// SystemR tunes the DP search space when Optimizer is SystemR/Starburst.
+	SystemR systemr.Options
+	// Cascades tunes the memo search when Optimizer is Cascades.
+	Cascades cascadesopt.Options
+	// Cost overrides the cost model (zero value = DefaultModel).
+	Cost *cost.Model
+	// Analyze configures statistics collection for ANALYZE statements.
+	Analyze stats.AnalyzeOptions
+}
+
+// Engine is an embedded single-process database engine.
+type Engine struct {
+	opts  Options
+	cat   *catalog.Catalog
+	store *storage.Store
+	udfs  []udf
+}
+
+type udf struct {
+	name string
+	cost float64
+	sel  float64
+	fn   func([]datum.D) bool
+}
+
+// New returns an empty engine.
+func New(opts Options) *Engine {
+	if opts.SystemR.MaxRelations == 0 {
+		opts.SystemR = systemr.DefaultOptions()
+	}
+	if opts.Cascades.MaxExprs == 0 {
+		opts.Cascades = cascadesopt.DefaultOptions()
+	}
+	return &Engine{opts: opts, cat: catalog.New(), store: storage.NewStore()}
+}
+
+// Result is a query result: column names and rows of native Go values
+// (int64, float64, string, bool, or nil for NULL).
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	// Plan is the executed physical plan rendered as text (empty for DDL
+	// and reference-mode execution).
+	Plan string
+	// EstRows and EstCost are the optimizer's estimates for the plan root.
+	EstRows, EstCost float64
+	// Stats reports the measured execution counters.
+	Stats ExecStats
+	// UsedMaterializedView names the view substituted, if any.
+	UsedMaterializedView string
+}
+
+// ExecStats are measured execution counters (simulated I/O model).
+type ExecStats struct {
+	PagesRead     int64
+	RowsProcessed int64
+	IndexSeeks    int64
+	SubqueryEvals int64
+	HashOps       int64
+	Comparisons   int64
+}
+
+// RegisterPredicate registers a user-defined predicate callable from SQL
+// (§7.2). Declared cost and selectivity inform the optimizer; fn executes it.
+// Arguments arrive as native Go values.
+func (e *Engine) RegisterPredicate(name string, perTupleCost, selectivity float64, fn func(args []any) bool) {
+	e.udfs = append(e.udfs, udf{
+		name: name, cost: perTupleCost, sel: selectivity,
+		fn: func(ds []datum.D) bool {
+			args := make([]any, len(ds))
+			for i, d := range ds {
+				args[i] = toGo(d)
+			}
+			return fn(args)
+		},
+	})
+}
+
+// Exec parses and executes one SQL statement.
+func (e *Engine) Exec(text string) (*Result, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt, false)
+}
+
+// MustExec is Exec for setup code paths; it panics on error.
+func (e *Engine) MustExec(text string) *Result {
+	res, err := e.Exec(text)
+	if err != nil {
+		panic(fmt.Sprintf("queryopt: %s: %v", text, err))
+	}
+	return res
+}
+
+// Explain returns the optimized plan for a SELECT without executing it.
+func (e *Engine) Explain(text string) (string, error) {
+	res, err := e.Exec("EXPLAIN " + text)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, r := range res.Rows {
+		fmt.Fprintln(&sb, r[0])
+	}
+	return sb.String(), nil
+}
+
+func (e *Engine) execStmt(stmt sql.Statement, explain bool) (*Result, error) {
+	switch t := stmt.(type) {
+	case *sql.CreateTableStmt:
+		return e.createTable(t)
+	case *sql.CreateIndexStmt:
+		return e.createIndex(t)
+	case *sql.CreateViewStmt:
+		return e.createView(t)
+	case *sql.InsertStmt:
+		return e.insert(t)
+	case *sql.AnalyzeStmt:
+		return e.analyze(t)
+	case *sql.ExplainStmt:
+		return e.execStmt(t.Stmt, true)
+	case *sql.SelectStmt:
+		return e.query(t, explain)
+	}
+	return nil, fmt.Errorf("queryopt: unsupported statement %T", stmt)
+}
+
+func (e *Engine) createTable(t *sql.CreateTableStmt) (*Result, error) {
+	def := &catalog.Table{Name: t.Name}
+	for _, c := range t.Cols {
+		def.Cols = append(def.Cols, catalog.Column{Name: c.Name, Kind: c.Kind, NotNull: c.NotNull})
+	}
+	for _, pk := range t.PrimaryKey {
+		ord := -1
+		for i, c := range def.Cols {
+			if strings.EqualFold(c.Name, pk) {
+				ord = i
+			}
+		}
+		if ord < 0 {
+			return nil, fmt.Errorf("queryopt: PRIMARY KEY column %q not found", pk)
+		}
+		def.PrimaryKey = append(def.PrimaryKey, ord)
+		def.Cols[ord].NotNull = true
+	}
+	if len(def.PrimaryKey) > 0 {
+		def.Indexes = append(def.Indexes, &catalog.Index{
+			Name: strings.ToLower(t.Name) + "_pkey", Cols: def.PrimaryKey,
+			Unique: true, Clustered: true,
+		})
+	}
+	if err := e.cat.AddTable(def); err != nil {
+		return nil, err
+	}
+	if _, err := e.store.CreateTable(def); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) createIndex(t *sql.CreateIndexStmt) (*Result, error) {
+	def, ok := e.cat.Table(t.Table)
+	if !ok {
+		return nil, fmt.Errorf("queryopt: unknown table %q", t.Table)
+	}
+	ix := &catalog.Index{Name: t.Name, Unique: t.Unique, Clustered: t.Clustered}
+	for _, c := range t.Cols {
+		ord := def.Ordinal(c)
+		if ord < 0 {
+			return nil, fmt.Errorf("queryopt: unknown column %q in index", c)
+		}
+		ix.Cols = append(ix.Cols, ord)
+	}
+	if ix.Clustered && def.ClusteredIndex() != nil {
+		return nil, fmt.Errorf("queryopt: table %q already has a clustered index", t.Table)
+	}
+	def.Indexes = append(def.Indexes, ix)
+	if ix.Clustered {
+		if tab, ok := e.store.Table(t.Table); ok {
+			var spec []datum.SortSpec
+			for _, ord := range ix.Cols {
+				spec = append(spec, datum.SortSpec{Col: ord})
+			}
+			tab.SortBy(spec)
+		}
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) createView(t *sql.CreateViewStmt) (*Result, error) {
+	if t.Materialized {
+		if _, err := matview.Materialize(e.cat, e.store, t.Name, t.SQL); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+	if err := e.cat.AddView(&catalog.View{Name: t.Name, SQL: t.SQL}); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) insert(t *sql.InsertStmt) (*Result, error) {
+	tab, ok := e.store.Table(t.Table)
+	if !ok {
+		return nil, fmt.Errorf("queryopt: unknown table %q", t.Table)
+	}
+	for _, rowExprs := range t.Rows {
+		row := make(datum.Row, len(rowExprs))
+		for i, expr := range rowExprs {
+			// INSERT accepts constant expressions only.
+			sc, err := buildConstExpr(expr)
+			if err != nil {
+				return nil, err
+			}
+			v, ok := logical.EvalConst(sc)
+			if !ok {
+				return nil, fmt.Errorf("queryopt: INSERT values must be constants")
+			}
+			row[i] = v
+		}
+		if err := tab.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{}, nil
+}
+
+// buildConstExpr translates a constant AST expression without name
+// resolution.
+func buildConstExpr(e sql.Expr) (logical.Scalar, error) {
+	cat := catalog.New()
+	b := logical.NewBuilder(cat)
+	sel := &sql.SelectStmt{Select: []sql.SelectItem{{Expr: e}}}
+	q, err := b.Build(sel)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := q.Root.(*logical.Project)
+	if !ok || len(p.Items) != 1 {
+		return nil, fmt.Errorf("queryopt: cannot evaluate INSERT expression")
+	}
+	return p.Items[0].Expr, nil
+}
+
+func (e *Engine) analyze(t *sql.AnalyzeStmt) (*Result, error) {
+	if t.Table == "" {
+		stats.AnalyzeAll(e.store, e.cat, e.opts.Analyze)
+		return &Result{}, nil
+	}
+	tab, ok := e.store.Table(t.Table)
+	if !ok {
+		return nil, fmt.Errorf("queryopt: unknown table %q", t.Table)
+	}
+	stats.Analyze(tab, e.opts.Analyze)
+	return &Result{}, nil
+}
+
+// Build compiles a SELECT into a logical query (rewrites applied per the
+// engine options). Exposed for tooling and the experiment harness.
+func (e *Engine) Build(sel *sql.SelectStmt) (*logical.Query, error) {
+	b := logical.NewBuilder(e.cat)
+	for _, u := range e.udfs {
+		b.RegisterUDP(u.name, u.cost, u.sel, u.fn)
+	}
+	q, err := b.Build(sel)
+	if err != nil {
+		return nil, err
+	}
+	logical.NormalizeQuery(q, logical.DefaultNormalize())
+	if !e.opts.DisableRewrites && e.opts.Optimizer != Starburst {
+		rewrite.UnnestSubqueries(q)
+		rewrite.AssociateJoinOuterjoin(q)
+		rewrite.MovePredicates(q)
+		rewrite.PushDownGroupBy(q)
+		logical.NormalizeQuery(q, logical.DefaultNormalize())
+	}
+	return q, nil
+}
+
+func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
+	q, err := e.Build(sel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialized-view answering: collect alternatives, optimize each, and
+	// keep the cheapest plan (§7.3).
+	type alternative struct {
+		q  *logical.Query
+		mv string
+	}
+	alts := []alternative{{q: q}}
+	if e.opts.UseMaterializedViews {
+		for _, rw := range matview.RewriteWithViews(q, e.cat) {
+			alts = append(alts, alternative{q: rw.Query, mv: rw.MV.Name})
+		}
+	}
+
+	if e.opts.Optimizer == Reference {
+		logical.PruneColumns(q)
+		ctx := exec.NewCtx(e.store, q.Meta)
+		res, err := ctx.RunQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		return e.finish(q, nil, res, ctx, ""), nil
+	}
+
+	var bestPlan physical.Plan
+	var bestQ *logical.Query
+	bestMV := ""
+	for _, alt := range alts {
+		logical.PruneColumns(alt.q)
+		plan, err := e.optimizeOne(alt.q)
+		if err != nil {
+			return nil, err
+		}
+		_, c := plan.Estimate()
+		if bestPlan == nil {
+			bestPlan, bestQ, bestMV = plan, alt.q, alt.mv
+			continue
+		}
+		if _, bc := bestPlan.Estimate(); c < bc {
+			bestPlan, bestQ, bestMV = plan, alt.q, alt.mv
+		}
+	}
+
+	if explain {
+		res := &Result{Columns: []string{"plan"}}
+		for _, line := range strings.Split(strings.TrimRight(physical.Format(bestPlan, bestQ.Meta), "\n"), "\n") {
+			res.Rows = append(res.Rows, []any{line})
+		}
+		res.EstRows, res.EstCost = bestPlan.Estimate()
+		res.UsedMaterializedView = bestMV
+		return res, nil
+	}
+	ctx := exec.NewCtx(e.store, bestQ.Meta)
+	res, err := exec.RunPlanQuery(bestPlan, bestQ, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.finish(bestQ, bestPlan, res, ctx, bestMV), nil
+}
+
+func (e *Engine) optimizeOne(q *logical.Query) (physical.Plan, error) {
+	model := cost.DefaultModel()
+	if e.opts.Cost != nil {
+		model = *e.opts.Cost
+	}
+	switch e.opts.Optimizer {
+	case SystemR:
+		opt := systemr.New(stats.NewEstimator(q.Meta), model, e.opts.SystemR)
+		return opt.Optimize(q)
+	case Starburst:
+		opt := &qgm.Optimizer{
+			Engine: qgm.DefaultEngine(),
+			Plan:   systemr.New(stats.NewEstimator(q.Meta), model, e.opts.SystemR),
+		}
+		plan, _, err := opt.Optimize(q)
+		return plan, err
+	case Cascades:
+		opt := cascadesopt.New(stats.NewEstimator(q.Meta), model, e.opts.Cascades)
+		return opt.Optimize(q)
+	}
+	return nil, fmt.Errorf("queryopt: unknown optimizer %v", e.opts.Optimizer)
+}
+
+func (e *Engine) finish(q *logical.Query, plan physical.Plan, res *exec.Result, ctx *exec.Ctx, mv string) *Result {
+	out := &Result{
+		Columns:              q.ColNames,
+		UsedMaterializedView: mv,
+		Stats: ExecStats{
+			PagesRead:     ctx.Counters.PagesRead,
+			RowsProcessed: ctx.Counters.RowsProcessed,
+			IndexSeeks:    ctx.Counters.IndexSeeks,
+			SubqueryEvals: ctx.Counters.SubqueryEvals,
+			HashOps:       ctx.Counters.HashOps,
+			Comparisons:   ctx.Counters.Comparisons,
+		},
+	}
+	if plan != nil {
+		out.Plan = physical.Format(plan, q.Meta)
+		out.EstRows, out.EstCost = plan.Estimate()
+	}
+	for _, r := range res.Rows {
+		row := make([]any, len(r))
+		for i, d := range r {
+			row[i] = toGo(d)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func toGo(d datum.D) any {
+	switch d.Kind() {
+	case datum.KindNull:
+		return nil
+	case datum.KindBool:
+		return d.Bool()
+	case datum.KindInt:
+		return d.Int()
+	case datum.KindFloat:
+		return d.Float()
+	case datum.KindString:
+		return d.Str()
+	}
+	return nil
+}
+
+// Catalog exposes the engine's catalog for tooling and experiments.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Store exposes the engine's storage for tooling and experiments.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// LoadRows bulk-inserts native Go rows into a table (fast path for
+// generators and examples).
+func (e *Engine) LoadRows(table string, rows [][]any) error {
+	tab, ok := e.store.Table(table)
+	if !ok {
+		return fmt.Errorf("queryopt: unknown table %q", table)
+	}
+	for _, r := range rows {
+		dr := make(datum.Row, len(r))
+		for i, v := range r {
+			d, err := fromGo(v)
+			if err != nil {
+				return err
+			}
+			dr[i] = d
+		}
+		if err := tab.Insert(dr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fromGo(v any) (datum.D, error) {
+	switch t := v.(type) {
+	case nil:
+		return datum.Null, nil
+	case bool:
+		return datum.NewBool(t), nil
+	case int:
+		return datum.NewInt(int64(t)), nil
+	case int64:
+		return datum.NewInt(t), nil
+	case float64:
+		return datum.NewFloat(t), nil
+	case string:
+		return datum.NewString(t), nil
+	}
+	return datum.Null, fmt.Errorf("queryopt: unsupported value type %T", v)
+}

@@ -1,0 +1,165 @@
+package queryopt
+
+// union_test.go covers UNION [ALL] and the GROUP BY CUBE/ROLLUP extensions
+// (§7.4's decision-support constructs [24]) across all optimizers.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func salesEngine(t *testing.T, kind OptimizerKind) *Engine {
+	t.Helper()
+	e := New(Options{Optimizer: kind})
+	e.MustExec("CREATE TABLE sales (region VARCHAR, product VARCHAR, qty INT)")
+	rows := [][]any{
+		{"east", "apple", 10},
+		{"east", "apple", 5},
+		{"east", "pear", 2},
+		{"west", "apple", 7},
+		{"west", "pear", 4},
+		{"west", "pear", 1},
+		{nil, "apple", 3}, // region unknown
+	}
+	if err := e.LoadRows("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec("ANALYZE")
+	return e
+}
+
+func rowsOf(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		var parts []string
+		for _, v := range r {
+			if v == nil {
+				parts = append(parts, "·")
+			} else {
+				parts = append(parts, fmt.Sprint(v))
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestUnionAllAndDistinct(t *testing.T) {
+	for _, kind := range []OptimizerKind{Reference, SystemR, Starburst, Cascades} {
+		e := salesEngine(t, kind)
+		res := e.MustExec("SELECT region FROM sales WHERE product = 'apple' UNION ALL SELECT region FROM sales WHERE product = 'pear'")
+		if len(res.Rows) != 7 {
+			t.Errorf("[%v] UNION ALL rows = %d, want 7", kind, len(res.Rows))
+		}
+		res = e.MustExec("SELECT region FROM sales WHERE product = 'apple' UNION SELECT region FROM sales WHERE product = 'pear'")
+		if len(res.Rows) != 3 { // east, west, NULL
+			t.Errorf("[%v] UNION rows = %d, want 3: %v", kind, len(res.Rows), rowsOf(res))
+		}
+		// Mixed-arm union with literals.
+		res = e.MustExec("SELECT 1, 'a' UNION ALL SELECT 2, 'b' UNION SELECT 2, 'b'")
+		if len(res.Rows) != 2 {
+			t.Errorf("[%v] literal union rows = %d, want 2", kind, len(res.Rows))
+		}
+	}
+}
+
+func TestUnionOrderByLimit(t *testing.T) {
+	e := salesEngine(t, SystemR)
+	res := e.MustExec(`SELECT qty FROM sales WHERE region = 'east'
+		UNION ALL SELECT qty FROM sales WHERE region = 'west'
+		ORDER BY qty DESC LIMIT 3`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].(int64) != 10 || res.Rows[1][0].(int64) != 7 || res.Rows[2][0].(int64) != 5 {
+		t.Errorf("top-3 via union = %v", res.Rows)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	e := salesEngine(t, SystemR)
+	if _, err := e.Exec("SELECT region, qty FROM sales UNION SELECT region FROM sales"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := e.Exec("SELECT qty FROM sales UNION SELECT qty FROM sales ORDER BY nope"); err == nil {
+		t.Error("unknown union order column should fail")
+	}
+}
+
+func TestRollup(t *testing.T) {
+	for _, kind := range []OptimizerKind{Reference, SystemR, Cascades} {
+		e := salesEngine(t, kind)
+		res, err := e.Exec(`SELECT region, product, SUM(qty) FROM sales
+			WHERE region IS NOT NULL
+			GROUP BY ROLLUP (region, product)`)
+		if err != nil {
+			t.Fatalf("[%v] %v", kind, err)
+		}
+		got := rowsOf(res)
+		want := []string{
+			// detail level
+			"east|apple|15", "east|pear|2", "west|apple|7", "west|pear|5",
+			// per-region subtotal (product rolled away)
+			"east|·|17", "west|·|12",
+			// grand total
+			"·|·|29",
+		}
+		sort.Strings(want)
+		if strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Errorf("[%v] rollup rows:\ngot:  %v\nwant: %v", kind, got, want)
+		}
+	}
+}
+
+func TestCube(t *testing.T) {
+	e := salesEngine(t, SystemR)
+	res := e.MustExec(`SELECT region, product, SUM(qty), COUNT(*) FROM sales
+		WHERE region IS NOT NULL
+		GROUP BY CUBE (region, product)`)
+	got := rowsOf(res)
+	want := []string{
+		"east|apple|15|2", "east|pear|2|1", "west|apple|7|1", "west|pear|5|2",
+		"east|·|17|3", "west|·|12|3",
+		"·|apple|22|3", "·|pear|7|3",
+		"·|·|29|6",
+	}
+	sort.Strings(want)
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("cube rows:\ngot:  %v\nwant: %v", got, want)
+	}
+}
+
+func TestCubeMatchesManualUnion(t *testing.T) {
+	e := salesEngine(t, Cascades)
+	cube := e.MustExec(`SELECT region, SUM(qty) FROM sales GROUP BY CUBE (region)`)
+	manual := e.MustExec(`SELECT region, SUM(qty) FROM sales GROUP BY region
+		UNION ALL SELECT NULL, SUM(qty) FROM sales`)
+	if strings.Join(rowsOf(cube), ";") != strings.Join(rowsOf(manual), ";") {
+		t.Errorf("cube: %v\nmanual: %v", rowsOf(cube), rowsOf(manual))
+	}
+}
+
+func TestCubeGuards(t *testing.T) {
+	e := salesEngine(t, SystemR)
+	if _, err := e.Exec("SELECT SUM(qty) FROM sales GROUP BY CUBE ()"); err == nil {
+		t.Error("empty CUBE should fail to parse or build")
+	}
+	if _, err := e.Exec(`SELECT region, product, qty, SUM(qty) FROM sales
+		GROUP BY CUBE (region, product, qty, region, product, qty, region, product, qty)`); err == nil {
+		t.Error("oversized CUBE should be rejected")
+	}
+}
+
+func TestCubeExplainShowsUnions(t *testing.T) {
+	e := salesEngine(t, SystemR)
+	plan, err := e.Explain("SELECT region, SUM(qty) FROM sales GROUP BY CUBE (region)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "union-all") {
+		t.Errorf("CUBE plan should contain a union:\n%s", plan)
+	}
+}
