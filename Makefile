@@ -1,0 +1,24 @@
+.PHONY: build test check bench harness parallel-bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check is the strict gate: vet plus the full suite under the race detector.
+# The parallel executor (internal/exec) is explicitly designed to be
+# race-clean; run this before sending changes.
+check:
+	go vet ./...
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem
+
+harness:
+	go run ./cmd/benchharness
+
+# Serial-vs-parallel wall-clock sweep; writes BENCH_parallel.json.
+parallel-bench:
+	go run ./cmd/benchharness parallel

@@ -1,6 +1,6 @@
 package queryopt
 
-// bench_test.go exposes every experiment of the reproduction (E1–E18, one
+// bench_test.go exposes every experiment of the reproduction (E1–E21, one
 // per figure/claim of the paper — see DESIGN.md §2) as a testing.B benchmark,
 // plus micro-benchmarks of the engine's hot paths. Regenerate the experiment
 // tables with:
@@ -65,6 +65,9 @@ func BenchmarkE19Parametric(b *testing.B) {
 }
 func BenchmarkE20JointDistribution(b *testing.B) {
 	benchExperiment(b, experiments.E20JointDistribution)
+}
+func BenchmarkE21ParallelExecution(b *testing.B) {
+	benchExperiment(b, experiments.E21ParallelExecution)
 }
 
 // --- engine micro-benchmarks ---

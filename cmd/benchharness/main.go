@@ -1,12 +1,15 @@
-// Command benchharness regenerates every table of the reproduction (E1–E18,
+// Command benchharness regenerates every table of the reproduction (E1–E21,
 // mapped to the paper's figures and claims in DESIGN.md). Run with no
 // arguments for everything, or pass experiment ids:
 //
 //	go run ./cmd/benchharness            # all experiments
 //	go run ./cmd/benchharness E2 E10     # a subset
+//	go run ./cmd/benchharness parallel   # serial-vs-parallel wall-clock sweep
+//	                                     # → BENCH_parallel.json
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"time"
@@ -14,13 +17,45 @@ import (
 	"repro/internal/experiments"
 )
 
+// parallelBench runs the large serial-vs-parallel comparison and writes
+// BENCH_parallel.json: rows/sec and speedup at degrees 1/2/4/8, plus the
+// CommCostPerRow calibrated from measured exchange overhead. GOMAXPROCS and
+// CPU count are recorded because measured speedup is bounded by cores, not by
+// degree.
+func parallelBench() error {
+	res := experiments.RunParallelBench(150000, []int{1, 2, 4, 8}, 3)
+	for _, p := range res.Points {
+		fmt.Printf("degree=%d  wall=%.3fs  rows/sec=%.0f  speedup=%.2fx  modeled-response=%.1f\n",
+			p.Degree, p.WallSeconds, p.RowsPerSec, p.Speedup, p.ModeledResponseTime)
+	}
+	fmt.Printf("gomaxprocs=%d cpus=%d calibrated CommCostPerRow=%.4f (default %.4f)\n",
+		res.GOMAXPROCS, res.CPUs, res.CalibratedCommCostPerRow, res.DefaultCommCostPerRow)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_parallel.json")
+	return nil
+}
+
 func main() {
 	start := time.Now()
+	if len(os.Args) > 1 && os.Args[1] == "parallel" {
+		if err := parallelBench(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("parallel bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E18)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E21)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

@@ -24,9 +24,10 @@ func main() {
 	demo := flag.String("demo", "", "preload a demo dataset: empdept | star")
 	stmt := flag.String("e", "", "execute one statement and exit")
 	useMV := flag.Bool("matviews", true, "answer queries using materialized views")
+	par := flag.Int("parallel", 1, "execute with this degree of parallelism (morsel-driven executor, §7.1)")
 	flag.Parse()
 
-	opts := queryopt.Options{UseMaterializedViews: *useMV}
+	opts := queryopt.Options{UseMaterializedViews: *useMV, Parallelism: *par}
 	switch strings.ToLower(*optimizer) {
 	case "systemr", "system-r":
 		opts.Optimizer = queryopt.SystemR
@@ -41,6 +42,7 @@ func main() {
 		os.Exit(1)
 	}
 	eng := queryopt.New(opts)
+	defer eng.Close()
 	switch strings.ToLower(*demo) {
 	case "":
 	case "empdept":

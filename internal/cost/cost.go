@@ -36,6 +36,20 @@ func DefaultModel() Model {
 	}
 }
 
+// CalibrateCommPerRow converts measured exchange overhead into the model's
+// cost units so CommCostPerRow can be set from a real run instead of guessed.
+// The model's unit is "one sequential page read", which the executor
+// approximates as the measured time to scan one page worth of rows; the
+// per-row exchange overhead (partition hash + transfer through the fan-in)
+// divided by that unit is the calibrated CommCostPerRow. Non-positive inputs
+// (e.g. a run too fast to time) fall back to the default.
+func CalibrateCommPerRow(exchangeSecPerRow, scanSecPerPage float64) float64 {
+	if exchangeSecPerRow <= 0 || scanSecPerPage <= 0 {
+		return DefaultModel().CommCostPerRow
+	}
+	return exchangeSecPerRow / scanSecPerPage
+}
+
 // pages converts a row count to a page estimate.
 func (m Model) pages(rows float64) float64 {
 	if m.RowsPerPage <= 0 {

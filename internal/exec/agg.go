@@ -10,6 +10,10 @@ import (
 // aggAcc accumulates one aggregate over a group.
 type aggAcc interface {
 	add(v datum.D)
+	// merge folds another accumulator of the same concrete type into this
+	// one — used by parallel aggregation to combine thread-local partials at
+	// the pipeline barrier (§7.1).
+	merge(o aggAcc)
 	result() datum.D
 }
 
@@ -45,6 +49,7 @@ func (a *countAcc) add(v datum.D) {
 		a.n++
 	}
 }
+func (a *countAcc) merge(o aggAcc)  { a.n += o.(*countAcc).n }
 func (a *countAcc) result() datum.D { return datum.NewInt(a.n) }
 
 type sumAcc struct {
@@ -70,6 +75,27 @@ func (a *sumAcc) add(v datum.D) {
 	a.i += v.Int()
 }
 
+func (a *sumAcc) merge(o aggAcc) {
+	b := o.(*sumAcc)
+	if !b.any {
+		return
+	}
+	a.any = true
+	if b.isFloat || a.isFloat {
+		if !a.isFloat {
+			a.f = float64(a.i)
+			a.isFloat = true
+		}
+		if b.isFloat {
+			a.f += b.f
+		} else {
+			a.f += float64(b.i)
+		}
+		return
+	}
+	a.i += b.i
+}
+
 func (a *sumAcc) result() datum.D {
 	if !a.any {
 		return datum.Null
@@ -91,6 +117,12 @@ func (a *avgAcc) add(v datum.D) {
 	}
 	a.n++
 	a.sum += v.Float()
+}
+
+func (a *avgAcc) merge(o aggAcc) {
+	b := o.(*avgAcc)
+	a.n += b.n
+	a.sum += b.sum
 }
 
 func (a *avgAcc) result() datum.D {
@@ -121,6 +153,13 @@ func (a *minmaxAcc) add(v datum.D) {
 	}
 }
 
+func (a *minmaxAcc) merge(o aggAcc) {
+	b := o.(*minmaxAcc)
+	if b.any {
+		a.add(b.val)
+	}
+}
+
 func (a *minmaxAcc) result() datum.D {
 	if !a.any {
 		return datum.Null
@@ -146,6 +185,16 @@ func (a *distinctAcc) add(v datum.D) {
 	}
 	a.seen[h] = append(a.seen[h], v)
 	a.inner.add(v)
+}
+
+func (a *distinctAcc) merge(o aggAcc) {
+	// Replaying the other side's distinct values through add keeps the
+	// combined deduplication exact.
+	for _, vs := range o.(*distinctAcc).seen {
+		for _, v := range vs {
+			a.add(v)
+		}
+	}
 }
 
 func (a *distinctAcc) result() datum.D { return a.inner.result() }
@@ -213,6 +262,21 @@ func (gt *groupTable) add(key datum.Row, hash uint64, argVals []datum.D) {
 	e := gt.ensure(key, hash)
 	for i := range gt.aggs {
 		e.accs[i].add(argVals[i])
+	}
+}
+
+// mergeFrom folds another table's groups into gt (same group layout and
+// aggregates) — the merge phase of two-phase parallel aggregation.
+func (gt *groupTable) mergeFrom(o *groupTable) {
+	for _, e := range o.order {
+		var h uint64
+		if !gt.scalar && len(e.key) > 0 {
+			h = e.key.Hash(seqOffsets(len(e.key)))
+		}
+		dst := gt.ensure(e.key, h)
+		for i := range gt.aggs {
+			dst.accs[i].merge(e.accs[i])
+		}
 	}
 }
 

@@ -34,12 +34,63 @@ type Ctx struct {
 	// Buffer simulates the buffer pool: page touches served from it do not
 	// count as PagesRead, mirroring the cost model's §5.2 buffer modeling.
 	Buffer *PageBuffer
+	// Parallelism is the worker-pool degree of the morsel-driven parallel
+	// engine (§7.1 made real): values > 1 execute scans, hash joins, hash
+	// aggregation, sorts and exchanges on that many workers. 0 or 1 selects
+	// the serial path.
+	Parallelism int
+	// Pool is the shared worker pool. When nil it is created lazily, sized
+	// Parallelism (or GOMAXPROCS when Parallelism is 0). Set it explicitly to
+	// share one pool across many executions; lazily created pools are owned
+	// by the Ctx and released by Close.
+	Pool    *Pool
+	ownPool bool
 }
 
 // NewCtx returns a context over the given store and metadata, with a buffer
 // pool sized like cost.DefaultModel (256 pages).
 func NewCtx(store *storage.Store, md *logical.Metadata) *Ctx {
 	return &Ctx{Store: store, Meta: md, Buffer: NewPageBuffer(256)}
+}
+
+// Close releases a lazily created worker pool. It is safe to call on any
+// Ctx, including serial ones.
+func (c *Ctx) Close() {
+	if c.ownPool && c.Pool != nil {
+		c.Pool.Close()
+		c.Pool = nil
+		c.ownPool = false
+	}
+}
+
+// parallel reports whether the morsel-driven engine is enabled.
+func (c *Ctx) parallel() bool { return c.Parallelism > 1 }
+
+// workers returns the configured degree of parallelism (at least 1).
+func (c *Ctx) workers() int {
+	if c.Parallelism > 1 {
+		return c.Parallelism
+	}
+	return 1
+}
+
+// child returns a per-worker context sharing the store and metadata but
+// owning private counters and a private simulated buffer pool, so workers
+// never race on shared state. Workers run serially inside (Parallelism 1).
+func (c *Ctx) child() *Ctx {
+	return &Ctx{Store: c.Store, Meta: c.Meta, Buffer: NewPageBuffer(c.Buffer.Cap())}
+}
+
+// add folds another worker's counters into c — called only at pipeline
+// barriers, after the worker has finished.
+func (cs *Counters) add(o Counters) {
+	cs.PagesRead += o.PagesRead
+	cs.RowsProcessed += o.RowsProcessed
+	cs.IndexSeeks += o.IndexSeeks
+	cs.SubqueryEvals += o.SubqueryEvals
+	cs.Comparisons += o.Comparisons
+	cs.HashOps += o.HashOps
+	cs.ExchangedRows += o.ExchangedRows
 }
 
 // PageBuffer is a FIFO page cache keyed by (table, page number).
@@ -59,6 +110,14 @@ type pageKey struct {
 // caching: every touch is a read).
 func NewPageBuffer(capacity int) *PageBuffer {
 	return &PageBuffer{cap: capacity, m: make(map[pageKey]struct{})}
+}
+
+// Cap returns the buffer's configured capacity in pages.
+func (b *PageBuffer) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return b.cap
 }
 
 // Touch accesses a page, returning true on a buffer hit.

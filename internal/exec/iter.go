@@ -27,25 +27,34 @@ func RunPlanQuery(p physical.Plan, q *logical.Query, c *Ctx) (*Result, error) {
 		return nil, err
 	}
 	if len(q.OrderBy) > 0 && !q.OrderBy.SatisfiedBy(p.Ordering()) {
-		sortResult(res, q.OrderBy, &c.Counters)
+		if err := c.sortResult(res, q.OrderBy); err != nil {
+			return nil, err
+		}
 	}
 	return presentation(res, q)
 }
 
-// sortResult sorts rows in place by the ordering over the result layout.
-func sortResult(res *Result, by logical.Ordering, counters *Counters) {
+// sortResult sorts rows in place by the ordering over the result layout. An
+// ORDER BY column missing from the layout is an execution error — silently
+// returning unsorted rows would hide a planner bug.
+func (c *Ctx) sortResult(res *Result, by logical.Ordering) error {
 	spec := make([]datum.SortSpec, len(by))
 	for i, o := range by {
 		off := res.ColIndex(o.Col)
 		if off < 0 {
-			return
+			return fmt.Errorf("exec: ORDER BY column @%d not in result layout", int(o.Col))
 		}
 		spec[i] = datum.SortSpec{Col: off, Desc: o.Desc}
 	}
+	if c.parallel() && len(res.Rows) >= minParallelRows {
+		res.Rows = c.sortRowsParallel(res.Rows, spec)
+		return nil
+	}
 	sort.SliceStable(res.Rows, func(i, j int) bool {
-		counters.Comparisons++
+		c.Counters.Comparisons++
 		return datum.CompareRows(res.Rows[i], res.Rows[j], spec) < 0
 	})
+	return nil
 }
 
 // runPlan dispatches on the operator type. Operators materialize their
@@ -68,6 +77,9 @@ func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if c.parallel() && len(in) >= minParallelRows {
+			return c.filterRowsParallel(in, t.Input.Columns(), t.Preds)
+		}
 		e := newEnv(t.Input.Columns(), nil)
 		var out []datum.Row
 		for _, r := range in {
@@ -86,6 +98,9 @@ func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
 		in, err := c.runPlan(t.Input)
 		if err != nil {
 			return nil, err
+		}
+		if c.parallel() && len(in) >= minParallelRows {
+			return c.projectRowsParallel(in, t.Input.Columns(), t.Items)
 		}
 		e := newEnv(t.Input.Columns(), nil)
 		ectx := c.evalCtx(e)
@@ -110,7 +125,9 @@ func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
 			return nil, err
 		}
 		res := &Result{Cols: t.Input.Columns(), Rows: in}
-		sortResult(res, t.By, &c.Counters)
+		if err := c.sortResult(res, t.By); err != nil {
+			return nil, err
+		}
 		return res.Rows, nil
 	case *physical.NLJoin:
 		return c.runNLJoin(t)
@@ -134,12 +151,7 @@ func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
 		}
 		return in, nil
 	case *physical.Exchange:
-		in, err := c.runPlan(t.Input)
-		if err != nil {
-			return nil, err
-		}
-		c.Counters.ExchangedRows += int64(len(in))
-		return in, nil
+		return c.runExchange(t)
 	case *physical.UnionAll:
 		left, err := c.runPlan(t.Left)
 		if err != nil {
@@ -168,6 +180,9 @@ func (c *Ctx) runTableScan(t *physical.TableScan) ([]datum.Row, error) {
 		return nil, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
 	}
 	c.touchScan(tab)
+	if rows := tab.Rows(); c.parallel() && len(rows) >= minParallelRows {
+		return c.scanRowsParallel(rows, t.Cols, t.ColOrds, t.Filter)
+	}
 	var out []datum.Row
 	e := newEnv(t.Cols, nil)
 	for _, r := range tab.Rows() {
@@ -213,6 +228,9 @@ func (c *Ctx) runIndexScan(t *physical.IndexScan) ([]datum.Row, error) {
 	}
 	for _, id := range ids {
 		c.touchRow(tab, id)
+	}
+	if c.parallel() && len(ids) >= minParallelRows {
+		return c.fetchRowsParallel(tab, ids, t.Cols, t.ColOrds, t.Filter)
 	}
 	e := newEnv(t.Cols, nil)
 	var out []datum.Row
@@ -269,6 +287,9 @@ func (c *Ctx) runNLJoin(t *physical.NLJoin) ([]datum.Row, error) {
 	}
 	leftRes := &Result{Cols: t.Left.Columns(), Rows: left}
 	rightRes := &Result{Cols: t.Right.Columns(), Rows: right}
+	if c.parallel() && len(left)*max(len(right), 1) >= minParallelRows {
+		return c.runNLJoinParallel(t, leftRes, rightRes)
+	}
 	lj := &logical.Join{Kind: t.Kind, On: t.On}
 	return c.joinMaterialized(lj, leftRes, rightRes)
 }
@@ -348,6 +369,9 @@ func (c *Ctx) runINLJoin(t *physical.INLJoin) ([]datum.Row, error) {
 			return nil, fmt.Errorf("exec: INL key @%d not in outer layout", int(k))
 		}
 		keyOffsets[i] = off
+	}
+	if c.parallel() && len(left) >= minParallelRows {
+		return c.runINLJoinParallel(t, left, tab, ix, keyOffsets)
 	}
 	combined := append(append([]logical.ColumnID{}, leftLayout...), t.Cols...)
 	e := newEnv(combined, nil)
@@ -546,6 +570,9 @@ func (c *Ctx) runHashJoin(t *physical.HashJoin) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.parallel() && len(left)+len(right) >= minParallelRows {
+		return c.runHashJoinParallel(t, left, right, lOff, rOff)
+	}
 	// Build on the right.
 	build := make(map[uint64][]int, len(right))
 	for i, rr := range right {
@@ -624,6 +651,9 @@ func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs
 	keyOff, err := offsetsOf(layout, groupCols)
 	if err != nil {
 		return nil, err
+	}
+	if hash && c.parallel() && len(in) >= minParallelRows {
+		return c.runGroupByParallel(in, layout, keyOff, groupCols, aggs)
 	}
 	gt := newGroupTable(len(groupCols), aggs)
 	e := newEnv(layout, nil)

@@ -283,7 +283,9 @@ func (c *Ctx) RunQuery(q *logical.Query) (*Result, error) {
 		return nil, err
 	}
 	if len(q.OrderBy) > 0 {
-		sortResult(res, q.OrderBy, &c.Counters)
+		if err := c.sortResult(res, q.OrderBy); err != nil {
+			return nil, err
+		}
 	}
 	if limit >= 0 && int64(len(res.Rows)) > limit {
 		res.Rows = res.Rows[:limit]

@@ -1,0 +1,814 @@
+// Morsel-driven parallel execution (§7.1 made real): the operators in this
+// file run on a shared worker pool instead of being cost-modeled only. Scans
+// split their input into morsels of ~1024 rows claimed by workers; hash joins
+// partition the build side in parallel, build one hash table per partition and
+// probe morsel-wise; hash aggregation pre-aggregates into thread-local tables
+// merged at the pipeline barrier; Exchange operators are *executed* — goroutine
+// fan-out over hash/round-robin partitions and fan-in that concatenates, or
+// merges order-preservingly when a MergeOrdering is present.
+//
+// Every worker gets a private Ctx (counters, simulated buffer) merged into the
+// parent at the barrier, so the engine is race-free under `go test -race`.
+// Parallel operators are written to emit the same rows in the same order as
+// their serial counterparts wherever the serial order is observable: scans,
+// filters, projections, nested-loop and hash joins concatenate per-morsel
+// outputs in morsel order, and sorts/merging exchanges reproduce the stable
+// serial order exactly. Hash aggregation emits groups in a deterministic but
+// engine-specific order (group output is unordered in SQL).
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/storage"
+)
+
+// MorselSize is the number of rows a worker claims at a time. Small enough to
+// balance skewed pipelines, large enough to amortize scheduling.
+const MorselSize = 1024
+
+// minParallelRows is the input size below which operators stay serial: the
+// fan-out overhead would exceed the work.
+const minParallelRows = 2 * MorselSize
+
+// Pool is a fixed-size worker pool shared by all parallel operators of one or
+// more executions. Workers run until Close.
+type Pool struct {
+	size int
+	jobs chan func()
+	once sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (<= 0 means
+// GOMAXPROCS).
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{size: size, jobs: make(chan func())}
+	for i := 0; i < size; i++ {
+		go func() {
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Close releases the pool's workers. Safe to call more than once.
+func (p *Pool) Close() { p.once.Do(func() { close(p.jobs) }) }
+
+func (p *Pool) submit(f func()) { p.jobs <- f }
+
+// ensurePool returns the shared pool, creating (and owning) one on demand.
+func (c *Ctx) ensurePool() *Pool {
+	if c.Pool == nil {
+		c.Pool = NewPool(c.Parallelism)
+		c.ownPool = true
+	}
+	return c.Pool
+}
+
+// runWorkers runs fn(w, workerCtx) for w in [0, n) on the pool and blocks
+// until all return — a pipeline barrier. Each worker gets a private child Ctx;
+// the children's counters are merged into c at the barrier. Worker panics are
+// converted to errors so a failing morsel cannot kill the process.
+func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
+	if n < 1 {
+		n = 1
+	}
+	pool := c.ensurePool()
+	children := make([]*Ctx, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		w := w
+		wc := c.child()
+		children[w] = wc
+		pool.submit(func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("exec: worker %d panic: %v", w, r)
+				}
+			}()
+			errs[w] = fn(w, wc)
+		})
+	}
+	wg.Wait()
+	for _, wc := range children {
+		c.Counters.add(wc.Counters)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func numMorsels(n int) int { return (n + MorselSize - 1) / MorselSize }
+
+// forMorsels fans n items out as morsels over the pool. Morsels are assigned
+// by static striding (worker w takes morsels w, w+W, ...), which keeps every
+// run deterministic. fn receives the morsel index and its [lo, hi) bounds.
+func (c *Ctx) forMorsels(n int, fn func(wc *Ctx, m, lo, hi int) error) error {
+	nm := numMorsels(n)
+	if nm == 0 {
+		return nil
+	}
+	w := c.workers()
+	if w > nm {
+		w = nm
+	}
+	return c.runWorkers(w, func(wk int, wc *Ctx) error {
+		for m := wk; m < nm; m += w {
+			lo := m * MorselSize
+			hi := lo + MorselSize
+			if hi > n {
+				hi = n
+			}
+			if err := fn(wc, m, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// concatMorsels flattens per-morsel outputs in morsel order, so parallel
+// operators keep the serial row order.
+func concatMorsels(outs [][]datum.Row) []datum.Row {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	flat := make([]datum.Row, 0, total)
+	for _, o := range outs {
+		flat = append(flat, o...)
+	}
+	return flat
+}
+
+// --- parallel scans, filter, project ---
+
+// scanRowsParallel applies projection and pushed-down filters to base rows
+// morsel-wise.
+func (c *Ctx) scanRowsParallel(rows []datum.Row, cols []logical.ColumnID, colOrds []int, filter []logical.Scalar) ([]datum.Row, error) {
+	outs := make([][]datum.Row, numMorsels(len(rows)))
+	err := c.forMorsels(len(rows), func(wc *Ctx, m, lo, hi int) error {
+		e := newEnv(cols, nil)
+		var out []datum.Row
+		for _, r := range rows[lo:hi] {
+			wc.Counters.RowsProcessed++
+			pr := projectRow(r, colOrds)
+			if len(filter) > 0 {
+				e.row = pr
+				ok, err := wc.filterRow(filter, e)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, pr)
+		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatMorsels(outs), nil
+}
+
+// filterRowsParallel evaluates predicates over already-projected rows.
+func (c *Ctx) filterRowsParallel(in []datum.Row, layout []logical.ColumnID, preds []logical.Scalar) ([]datum.Row, error) {
+	outs := make([][]datum.Row, numMorsels(len(in)))
+	err := c.forMorsels(len(in), func(wc *Ctx, m, lo, hi int) error {
+		e := newEnv(layout, nil)
+		var out []datum.Row
+		for _, r := range in[lo:hi] {
+			wc.Counters.RowsProcessed++
+			e.row = r
+			ok, err := wc.filterRow(preds, e)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatMorsels(outs), nil
+}
+
+// projectRowsParallel computes projection items over morsels.
+func (c *Ctx) projectRowsParallel(in []datum.Row, layout []logical.ColumnID, items []logical.ProjectItem) ([]datum.Row, error) {
+	outs := make([][]datum.Row, numMorsels(len(in)))
+	err := c.forMorsels(len(in), func(wc *Ctx, m, lo, hi int) error {
+		e := newEnv(layout, nil)
+		ectx := wc.evalCtx(e)
+		out := make([]datum.Row, 0, hi-lo)
+		for _, r := range in[lo:hi] {
+			wc.Counters.RowsProcessed++
+			e.row = r
+			nr := make(datum.Row, len(items))
+			for i, it := range items {
+				v, err := logical.Eval(it.Expr, ectx)
+				if err != nil {
+					return err
+				}
+				nr[i] = v
+			}
+			out = append(out, nr)
+		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatMorsels(outs), nil
+}
+
+// --- partitioned parallel hash join ---
+
+// runHashJoinParallel executes a hash join as: parallel hash-partition of the
+// build (right) side → one hash table per partition built in parallel →
+// morsel-parallel probe of the partitioned table. Bucket lists preserve the
+// build side's original row order, so each probe row sees its matches in
+// exactly the serial order and the concatenated output is serial-identical.
+func (c *Ctx) runHashJoinParallel(t *physical.HashJoin, left, right []datum.Row, lOff, rOff []int) ([]datum.Row, error) {
+	nParts := c.workers()
+	nmBuild := numMorsels(len(right))
+	// Fan-out: each morsel partitions its build rows by hash, keeping indices
+	// in row order.
+	parts := make([][][]int, nmBuild)
+	err := c.forMorsels(len(right), func(wc *Ctx, m, lo, hi int) error {
+		loc := make([][]int, nParts)
+		for i := lo; i < hi; i++ {
+			rr := right[i]
+			if hasNullAt(rr, rOff) {
+				continue // NULL keys never match; FullOuter emits them later
+			}
+			wc.Counters.HashOps++
+			p := int(rr.Hash(rOff) % uint64(nParts))
+			loc[p] = append(loc[p], i)
+		}
+		parts[m] = loc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Per-partition build: concatenating morsel lists in morsel order keeps
+	// bucket entries in global build-row order (matching the serial build).
+	builds := make([]map[uint64][]int, nParts)
+	err = c.runWorkers(nParts, func(w int, wc *Ctx) error {
+		b := make(map[uint64][]int)
+		for m := 0; m < nmBuild; m++ {
+			for _, i := range parts[m][w] {
+				h := right[i].Hash(rOff)
+				b[h] = append(b[h], i)
+			}
+		}
+		builds[w] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Morsel-parallel probe.
+	leftLayout, rightLayout := t.Left.Columns(), t.Right.Columns()
+	combined := append(append([]logical.ColumnID{}, leftLayout...), rightLayout...)
+	rightWidth := len(rightLayout)
+	nmProbe := numMorsels(len(left))
+	outs := make([][]datum.Row, nmProbe)
+	needMatched := t.Kind == logical.FullOuterJoin
+	var matchedMu sync.Mutex
+	var workerMatched [][]bool
+	err = c.forMorsels(len(left), func(wc *Ctx, m, lo, hi int) error {
+		e := newEnv(combined, nil)
+		var out []datum.Row
+		var matched []bool
+		for _, lr := range left[lo:hi] {
+			lrMatched := false
+			if !hasNullAt(lr, lOff) {
+				wc.Counters.HashOps++
+				h := lr.Hash(lOff)
+				bucket := builds[int(h%uint64(nParts))][h]
+				for _, ri := range bucket {
+					rr := right[ri]
+					if !datum.EqualOn(lr, rr, lOff, rOff) {
+						continue
+					}
+					wc.Counters.RowsProcessed++
+					e.row = lr.Concat(rr)
+					ok, err := wc.filterRow(t.ExtraOn, e)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					lrMatched = true
+					if needMatched {
+						if matched == nil {
+							matched = make([]bool, len(right))
+						}
+						matched[ri] = true
+					}
+					switch t.Kind {
+					case logical.InnerJoin, logical.LeftOuterJoin, logical.FullOuterJoin:
+						out = append(out, lr.Concat(rr))
+					case logical.SemiJoin:
+						out = append(out, lr)
+					}
+					if t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin {
+						break
+					}
+				}
+			}
+			switch t.Kind {
+			case logical.LeftOuterJoin, logical.FullOuterJoin:
+				if !lrMatched {
+					out = append(out, lr.Concat(nullRow(rightWidth)))
+				}
+			case logical.AntiJoin:
+				if !lrMatched {
+					out = append(out, lr)
+				}
+			}
+		}
+		outs[m] = out
+		if matched != nil {
+			matchedMu.Lock()
+			workerMatched = append(workerMatched, matched)
+			matchedMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := concatMorsels(outs)
+	if needMatched {
+		rightMatched := make([]bool, len(right))
+		for _, wm := range workerMatched {
+			for i, b := range wm {
+				if b {
+					rightMatched[i] = true
+				}
+			}
+		}
+		leftWidth := len(leftLayout)
+		for ri, rr := range right {
+			if !rightMatched[ri] {
+				out = append(out, nullRow(leftWidth).Concat(rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- parallel nested-loop and index-nested-loop probes ---
+
+// runNLJoinParallel splits the outer input into morsels probed against the
+// fully materialized inner. Per-morsel concatenation keeps the serial order.
+func (c *Ctx) runNLJoinParallel(t *physical.NLJoin, left, right *Result) ([]datum.Row, error) {
+	combined := append(append([]logical.ColumnID{}, left.Cols...), right.Cols...)
+	rightWidth := len(right.Cols)
+	nm := numMorsels(len(left.Rows))
+	outs := make([][]datum.Row, nm)
+	needMatched := t.Kind == logical.FullOuterJoin
+	var matchedMu sync.Mutex
+	var workerMatched [][]bool
+	err := c.forMorsels(len(left.Rows), func(wc *Ctx, m, lo, hi int) error {
+		e := newEnv(combined, nil)
+		var out []datum.Row
+		var matchedR []bool
+		if needMatched {
+			matchedR = make([]bool, len(right.Rows))
+		}
+		for _, lr := range left.Rows[lo:hi] {
+			matched := false
+			for ri, rr := range right.Rows {
+				wc.Counters.RowsProcessed++
+				e.row = lr.Concat(rr)
+				ok, err := wc.filterRow(t.On, e)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				if needMatched {
+					matchedR[ri] = true
+				}
+				switch t.Kind {
+				case logical.InnerJoin, logical.LeftOuterJoin, logical.FullOuterJoin:
+					out = append(out, lr.Concat(rr))
+				case logical.SemiJoin:
+					out = append(out, lr)
+				}
+				if t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin {
+					break
+				}
+			}
+			switch t.Kind {
+			case logical.LeftOuterJoin, logical.FullOuterJoin:
+				if !matched {
+					out = append(out, lr.Concat(nullRow(rightWidth)))
+				}
+			case logical.AntiJoin:
+				if !matched {
+					out = append(out, lr)
+				}
+			}
+		}
+		outs[m] = out
+		if matchedR != nil {
+			matchedMu.Lock()
+			workerMatched = append(workerMatched, matchedR)
+			matchedMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := concatMorsels(outs)
+	if needMatched {
+		rightMatched := make([]bool, len(right.Rows))
+		for _, wm := range workerMatched {
+			for i, b := range wm {
+				if b {
+					rightMatched[i] = true
+				}
+			}
+		}
+		leftWidth := len(left.Cols)
+		for ri, rr := range right.Rows {
+			if !rightMatched[ri] {
+				out = append(out, nullRow(leftWidth).Concat(rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+// runINLJoinParallel probes the inner table's index with morsels of outer
+// rows — the parallel index scan of §7.1 (the index is shared storage, so
+// probes stay local to each worker).
+func (c *Ctx) runINLJoinParallel(t *physical.INLJoin, left []datum.Row, tab *storage.Table, ix *storage.IndexData, keyOffsets []int) ([]datum.Row, error) {
+	leftLayout := t.Left.Columns()
+	combined := append(append([]logical.ColumnID{}, leftLayout...), t.Cols...)
+	innerWidth := len(t.Cols)
+	outs := make([][]datum.Row, numMorsels(len(left)))
+	err := c.forMorsels(len(left), func(wc *Ctx, m, lo, hi int) error {
+		e := newEnv(combined, nil)
+		var out []datum.Row
+		for _, lr := range left[lo:hi] {
+			key := make(datum.Row, len(keyOffsets))
+			nullKey := false
+			for i, off := range keyOffsets {
+				key[i] = lr[off]
+				if key[i].IsNull() {
+					nullKey = true
+				}
+			}
+			matched := false
+			if !nullKey {
+				wc.Counters.IndexSeeks++
+				ids := ix.SeekEq(key)
+				for _, id := range ids {
+					wc.touchRow(tab, id)
+				}
+				for _, id := range ids {
+					wc.Counters.RowsProcessed++
+					rr := projectRow(tab.Row(id), t.ColOrds)
+					e.row = lr.Concat(rr)
+					ok, err := wc.filterRow(t.ExtraOn, e)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					matched = true
+					switch t.Kind {
+					case logical.InnerJoin, logical.LeftOuterJoin:
+						out = append(out, lr.Concat(rr))
+					case logical.SemiJoin:
+						out = append(out, lr)
+					}
+					if t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin {
+						break
+					}
+				}
+			}
+			switch t.Kind {
+			case logical.LeftOuterJoin:
+				if !matched {
+					out = append(out, lr.Concat(nullRow(innerWidth)))
+				}
+			case logical.AntiJoin:
+				if !matched {
+					out = append(out, lr)
+				}
+			}
+		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatMorsels(outs), nil
+}
+
+// fetchRowsParallel projects and filters fetched row ids morsel-wise (the
+// fetch phase of a parallel index scan).
+func (c *Ctx) fetchRowsParallel(tab *storage.Table, ids []int, cols []logical.ColumnID, colOrds []int, filter []logical.Scalar) ([]datum.Row, error) {
+	outs := make([][]datum.Row, numMorsels(len(ids)))
+	err := c.forMorsels(len(ids), func(wc *Ctx, m, lo, hi int) error {
+		e := newEnv(cols, nil)
+		var out []datum.Row
+		for _, id := range ids[lo:hi] {
+			wc.Counters.RowsProcessed++
+			pr := projectRow(tab.Row(id), colOrds)
+			if len(filter) > 0 {
+				e.row = pr
+				ok, err := wc.filterRow(filter, e)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, pr)
+		}
+		outs[m] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatMorsels(outs), nil
+}
+
+// --- parallel hash aggregation ---
+
+// runGroupByParallel pre-aggregates morsels into thread-local group tables and
+// merges them at the barrier — the classic two-phase parallel aggregation.
+func (c *Ctx) runGroupByParallel(in []datum.Row, layout []logical.ColumnID, keyOff []int, groupCols []logical.ColumnID, aggs []logical.AggItem) ([]datum.Row, error) {
+	nm := numMorsels(len(in))
+	nW := c.workers()
+	if nW > nm {
+		nW = nm
+	}
+	tables := make([]*groupTable, nW)
+	err := c.runWorkers(nW, func(w int, wc *Ctx) error {
+		gt := newGroupTable(len(groupCols), aggs)
+		tables[w] = gt
+		e := newEnv(layout, nil)
+		ectx := wc.evalCtx(e)
+		for m := w; m < nm; m += nW {
+			lo := m * MorselSize
+			hi := lo + MorselSize
+			if hi > len(in) {
+				hi = len(in)
+			}
+			for _, r := range in[lo:hi] {
+				wc.Counters.RowsProcessed++
+				wc.Counters.HashOps++
+				e.row = r
+				key := make(datum.Row, len(keyOff))
+				for i, off := range keyOff {
+					key[i] = r[off]
+				}
+				args := make([]datum.D, len(aggs))
+				for i, a := range aggs {
+					if a.Arg == nil {
+						args[i] = datum.NewInt(1)
+						continue
+					}
+					v, err := logical.Eval(a.Arg, ectx)
+					if err != nil {
+						return err
+					}
+					args[i] = v
+				}
+				gt.add(key, key.Hash(seqOffsets(len(key))), args)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	final := newGroupTable(len(groupCols), aggs)
+	for _, gt := range tables {
+		if gt != nil {
+			final.mergeFrom(gt)
+		}
+	}
+	return final.rows(), nil
+}
+
+// --- parallel sort ---
+
+// sortRowsParallel sorts rows by spec with contiguous chunk sorts on workers
+// followed by a k-way merge. Ties break on the original row position, so the
+// result is exactly the serial stable sort.
+func (c *Ctx) sortRowsParallel(rows []datum.Row, spec []datum.SortSpec) []datum.Row {
+	nW := c.workers()
+	chunk := (len(rows) + nW - 1) / nW
+	runs := make([][]int, 0, nW)
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		run := make([]int, hi-lo)
+		for i := range run {
+			run[i] = lo + i
+		}
+		runs = append(runs, run)
+	}
+	// Chunk sorts: index sorts with the original position as tiebreaker make
+	// each run a contiguous slice of the stable global order.
+	_ = c.runWorkers(len(runs), func(w int, wc *Ctx) error {
+		run := runs[w]
+		sort.Slice(run, func(a, b int) bool {
+			wc.Counters.Comparisons++
+			cmp := datum.CompareRows(rows[run[a]], rows[run[b]], spec)
+			if cmp != 0 {
+				return cmp < 0
+			}
+			return run[a] < run[b]
+		})
+		return nil
+	})
+	return mergeRuns(rows, runs, spec, &c.Counters)
+}
+
+// mergeRuns k-way merges index runs that are each sorted by (spec, index),
+// breaking key ties on the original index — an order-preserving fan-in.
+func mergeRuns(rows []datum.Row, runs [][]int, spec []datum.SortSpec, counters *Counters) []datum.Row {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]datum.Row, 0, total)
+	heads := make([]int, len(runs))
+	for {
+		best := -1
+		for r := range runs {
+			if heads[r] >= len(runs[r]) {
+				continue
+			}
+			if best < 0 {
+				best = r
+				continue
+			}
+			counters.Comparisons++
+			ri, bi := runs[r][heads[r]], runs[best][heads[best]]
+			cmp := datum.CompareRows(rows[ri], rows[bi], spec)
+			if cmp < 0 || (cmp == 0 && ri < bi) {
+				best = r
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, rows[runs[best][heads[best]]])
+		heads[best]++
+	}
+}
+
+// --- executed Exchange ---
+
+// runExchange executes an Exchange operator for real: goroutine fan-out that
+// hash- or round-robin-partitions the input stream Degree ways, and a fan-in
+// that concatenates the partitions — or, when MergeOrdering is present,
+// merges them order-preservingly so the input's sort order survives the
+// repartitioning. On the serial path the exchange degenerates to a pass-through
+// that only counts exchanged rows, as before.
+func (c *Ctx) runExchange(t *physical.Exchange) ([]datum.Row, error) {
+	in, err := c.runPlan(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	c.Counters.ExchangedRows += int64(len(in))
+	if !c.parallel() || len(in) < minParallelRows {
+		return in, nil
+	}
+	degree := t.Degree
+	if degree < 2 {
+		degree = c.workers()
+	}
+	layout := t.Input.Columns()
+
+	// Fan-out: partition indices morsel-wise (stable within each morsel).
+	nm := numMorsels(len(in))
+	parts := make([][][]int, nm)
+	if len(t.PartitionCols) > 0 {
+		pOff, err := offsetsOf(layout, t.PartitionCols)
+		if err != nil {
+			return nil, err
+		}
+		err = c.forMorsels(len(in), func(wc *Ctx, m, lo, hi int) error {
+			loc := make([][]int, degree)
+			for i := lo; i < hi; i++ {
+				wc.Counters.HashOps++
+				p := int(in[i].Hash(pOff) % uint64(degree))
+				loc[p] = append(loc[p], i)
+			}
+			parts[m] = loc
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Round-robin by morsel.
+		err = c.forMorsels(len(in), func(wc *Ctx, m, lo, hi int) error {
+			loc := make([][]int, degree)
+			ids := make([]int, hi-lo)
+			for i := range ids {
+				ids[i] = lo + i
+			}
+			loc[m%degree] = ids
+			parts[m] = loc
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Fan-in: one consumer per partition gathers its stream in morsel order,
+	// which preserves the producer's row order within each partition.
+	streams := make([][]int, degree)
+	nCons := min(c.workers(), degree)
+	err = c.runWorkers(nCons, func(w int, wc *Ctx) error {
+		for p := w; p < degree; p += nCons {
+			var ids []int
+			for m := 0; m < nm; m++ {
+				ids = append(ids, parts[m][p]...)
+			}
+			streams[p] = ids
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if len(t.MergeOrdering) > 0 {
+		// Order-preserving merge: each partition is a subsequence of the
+		// (sorted) input, so merging by (key, original index) reproduces the
+		// input order exactly.
+		spec := make([]datum.SortSpec, len(t.MergeOrdering))
+		for i, o := range t.MergeOrdering {
+			off := (&Result{Cols: layout}).ColIndex(o.Col)
+			if off < 0 {
+				return nil, fmt.Errorf("exec: exchange merge column @%d not in layout", int(o.Col))
+			}
+			spec[i] = datum.SortSpec{Col: off, Desc: o.Desc}
+		}
+		return mergeRuns(in, streams, spec, &c.Counters), nil
+	}
+	out := make([]datum.Row, 0, len(in))
+	for _, ids := range streams {
+		for _, i := range ids {
+			out = append(out, in[i])
+		}
+	}
+	return out, nil
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one experiment
-// per figure/claim of the paper (see DESIGN.md §2 for the E1–E20 map). Every
+// per figure/claim of the paper (see DESIGN.md §2 for the E1–E21 map). Every
 // experiment returns a Table whose rows are recorded in EXPERIMENTS.md; the
 // cmd/benchharness binary prints them and bench_test.go wraps each in a
 // testing.B benchmark.
@@ -91,6 +91,7 @@ func All() []Table {
 		E18QueryGraph(),
 		E19Parametric(),
 		E20JointDistribution(),
+		E21ParallelExecution(),
 	}
 }
 

@@ -4,9 +4,13 @@
 // repartitioning (communication) cost when choosing the plan, treating the
 // partitioning of a data stream as a physical property.
 //
-// Parallel execution here is cost-modeled, not multi-threaded: the substrate
-// substitution table in DESIGN.md explains why this preserves the paper's
-// claims, which are about optimizer decisions, not wall-clock speed.
+// The Exchange operators this package inserts are executed for real: plans
+// annotated by Parallelize run on exec's morsel-driven worker pool
+// (exec.Ctx.Parallelism), which fans each exchange out over hash or
+// round-robin partitions and merges order-preservingly when a MergeOrdering
+// is present. The cost model here remains the phase-one/phase-two modeling
+// the paper describes; measured wall-clock comparisons live in
+// cmd/benchharness (BENCH_parallel.json).
 package parallel
 
 import (
@@ -78,8 +82,15 @@ type parallelizer struct {
 	exchangedRows float64
 }
 
-// exchange repartitions a stream onto the given key.
+// exchange repartitions a stream onto the given key. Exchanges are
+// order-preserving: any ordering the input stream carries survives the
+// repartitioning through a merging fan-in, so ordering properties the serial
+// plan established (and operators above that rely on them, e.g. Limit under
+// ORDER BY) remain valid when the exchange is actually executed.
 func (p *parallelizer) exchange(a annotated, key []logical.ColumnID, mergeOrder logical.Ordering) annotated {
+	if len(mergeOrder) == 0 {
+		mergeOrder = a.plan.Ordering()
+	}
 	comm := a.rows * p.cfg.CommCostPerRow
 	p.exchangedRows += a.rows
 	ex := &physical.Exchange{
@@ -206,6 +217,19 @@ func (p *parallelizer) rec(plan physical.Plan) annotated {
 		np := *t
 		np.Input = in.plan
 		return annotated{plan: &np, part: in.part, work: in.work + opCost(plan), comm: in.comm, rows: planRows(plan)}
+	case *physical.UnionAll:
+		// Both arms run partitioned; concatenation needs no repartitioning but
+		// destroys any arm-local partitioning property.
+		l := p.rec(t.Left)
+		r := p.rec(t.Right)
+		np := *t
+		np.Left, np.Right = l.plan, r.plan
+		return annotated{
+			plan: &np, part: nil,
+			work: l.work + r.work + opCost(plan),
+			comm: l.comm + r.comm,
+			rows: planRows(plan),
+		}
 	case *physical.Exchange:
 		in := p.rec(t.Input)
 		return p.exchange(in, t.PartitionCols, t.MergeOrdering)
@@ -285,7 +309,8 @@ func build(plan physical.Plan, segs *[]Segment) int {
 		return newSeg(opCost(plan), name, in)
 	case *physical.NLJoin:
 		l := build(t.Left, segs)
-		r := build(t.Right, segs)
+		r := build(t.Right, segs) // inner materializes before the probe starts
+		(*segs)[l].DependsOn = append((*segs)[l].DependsOn, r)
 		return extend(l, opCost(plan), name+dep(segs, r))
 	case *physical.INLJoin:
 		return extend(build(t.Left, segs), opCost(plan), name)
@@ -293,7 +318,7 @@ func build(plan physical.Plan, segs *[]Segment) int {
 		l := build(t.Left, segs)
 		r := build(t.Right, segs) // build side blocks
 		(*segs)[l].DependsOn = append((*segs)[l].DependsOn, r)
-		return extend(l, opCost(plan), name)
+		return extend(l, opCost(plan), name+dep(segs, r))
 	case *physical.MergeJoin:
 		l := build(t.Left, segs)
 		r := build(t.Right, segs)
@@ -307,7 +332,10 @@ func build(plan physical.Plan, segs *[]Segment) int {
 	panic(fmt.Sprintf("parallel: unknown operator %T", plan))
 }
 
-func dep(segs *[]Segment, r int) string { return "" }
+// dep renders a precedence annotation for an operator whose segment must wait
+// on segment r (e.g. "HashJoin<-S2": the probe pipeline depends on S2, the
+// materialized build/inner side), making Segments output self-describing.
+func dep(segs *[]Segment, r int) string { return fmt.Sprintf("<-S%d", (*segs)[r].ID) }
 
 // Makespan schedules the segments on `procs` processors with greedy list
 // scheduling honoring precedence, returning the modeled completion time —

@@ -499,7 +499,20 @@ func describe(p Plan, md *logical.Metadata) string {
 	case *LimitOp:
 		return fmt.Sprintf("limit %d", t.N)
 	case *Exchange:
-		return fmt.Sprintf("exchange degree=%d", t.Degree)
+		s := fmt.Sprintf("exchange degree=%d", t.Degree)
+		if len(t.PartitionCols) > 0 {
+			parts := make([]string, len(t.PartitionCols))
+			for i, c := range t.PartitionCols {
+				parts[i] = logical.FormatScalar(&logical.Col{ID: c}, md)
+			}
+			s += " hash(" + strings.Join(parts, ",") + ")"
+		} else {
+			s += " round-robin"
+		}
+		if len(t.MergeOrdering) > 0 {
+			s += " merge " + t.MergeOrdering.String()
+		}
+		return s
 	case *UnionAll:
 		return "union-all"
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/logical"
 	"repro/internal/matview"
+	"repro/internal/parallel"
 	"repro/internal/physical"
 	"repro/internal/qgm"
 	"repro/internal/rewrite"
@@ -83,6 +84,12 @@ type Options struct {
 	Cost *cost.Model
 	// Analyze configures statistics collection for ANALYZE statements.
 	Analyze stats.AnalyzeOptions
+	// Parallelism > 1 runs queries on the morsel-driven parallel executor
+	// (§7.1): optimized plans pass through parallel.Parallelize so Exchange
+	// operators are planned, and execute on a shared worker pool of this
+	// degree. 0 or 1 keeps execution serial. Engines used with parallelism
+	// should be Closed to release the pool.
+	Parallelism int
 }
 
 // Engine is an embedded single-process database engine.
@@ -91,6 +98,9 @@ type Engine struct {
 	cat   *catalog.Catalog
 	store *storage.Store
 	udfs  []udf
+	// pool is the worker pool shared by all parallel query executions of
+	// this engine; created lazily, released by Close.
+	pool *exec.Pool
 }
 
 type udf struct {
@@ -109,6 +119,15 @@ func New(opts Options) *Engine {
 		opts.Cascades = cascadesopt.DefaultOptions()
 	}
 	return &Engine{opts: opts, cat: catalog.New(), store: storage.NewStore()}
+}
+
+// Close releases the engine's parallel worker pool, if one was created.
+// Engines that never executed with Parallelism > 1 need not call it.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
 }
 
 // Result is a query result: column names and rows of native Go values
@@ -405,6 +424,17 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 		}
 	}
 
+	// Parallel execution: plan the exchanges (§7.1), then run on the
+	// morsel-driven engine over the engine's shared worker pool.
+	if e.opts.Parallelism > 1 {
+		model := e.costModel()
+		par := parallel.Parallelize(bestPlan, parallel.Config{
+			Degree:         e.opts.Parallelism,
+			CommCostPerRow: model.CommCostPerRow,
+		}, model)
+		bestPlan = par.Plan
+	}
+
 	if explain {
 		res := &Result{Columns: []string{"plan"}}
 		for _, line := range strings.Split(strings.TrimRight(physical.Format(bestPlan, bestQ.Meta), "\n"), "\n") {
@@ -415,6 +445,13 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 		return res, nil
 	}
 	ctx := exec.NewCtx(e.store, bestQ.Meta)
+	if e.opts.Parallelism > 1 {
+		ctx.Parallelism = e.opts.Parallelism
+		if e.pool == nil {
+			e.pool = exec.NewPool(e.opts.Parallelism)
+		}
+		ctx.Pool = e.pool
+	}
 	res, err := exec.RunPlanQuery(bestPlan, bestQ, ctx)
 	if err != nil {
 		return nil, err
@@ -422,11 +459,16 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 	return e.finish(bestQ, bestPlan, res, ctx, bestMV), nil
 }
 
-func (e *Engine) optimizeOne(q *logical.Query) (physical.Plan, error) {
-	model := cost.DefaultModel()
+// costModel resolves the engine's cost model (options override or default).
+func (e *Engine) costModel() cost.Model {
 	if e.opts.Cost != nil {
-		model = *e.opts.Cost
+		return *e.opts.Cost
 	}
+	return cost.DefaultModel()
+}
+
+func (e *Engine) optimizeOne(q *logical.Query) (physical.Plan, error) {
+	model := e.costModel()
 	switch e.opts.Optimizer {
 	case SystemR:
 		opt := systemr.New(stats.NewEstimator(q.Meta), model, e.opts.SystemR)
