@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench
+.PHONY: build test check bench harness parallel-bench analyze-bench
 
 build:
 	go build ./...
@@ -22,3 +22,8 @@ harness:
 # Serial-vs-parallel wall-clock sweep; writes BENCH_parallel.json.
 parallel-bench:
 	go run ./cmd/benchharness parallel
+
+# Random query corpus under EXPLAIN ANALYZE; writes BENCH_analyze.json
+# (estimate-vs-actual q-error distribution).
+analyze-bench:
+	go run ./cmd/benchharness analyze

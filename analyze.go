@@ -1,0 +1,147 @@
+// EXPLAIN ANALYZE API surface: the structured per-operator runtime metrics
+// tree returned by analyzed executions, and the engine's execution-feedback
+// report over accumulated estimate-vs-actual observations.
+package queryopt
+
+import (
+	"fmt"
+
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/sql"
+)
+
+// PlanAnalysis is the outcome of an analyzed execution: the rendered
+// EXPLAIN ANALYZE text plus the structured metrics tree.
+type PlanAnalysis struct {
+	// Text is the plan annotated with runtime metrics, one line per node.
+	Text string
+	// Root is the structured metrics tree mirroring the physical plan.
+	Root *NodeAnalysis
+}
+
+// NodeAnalysis is one plan node's estimates confronted with its measured
+// runtime behaviour.
+type NodeAnalysis struct {
+	// Op is the operator description as printed by EXPLAIN.
+	Op string
+	// EstRows is the optimizer's cardinality estimate.
+	EstRows float64
+	// EstCost is the optimizer's cost estimate for the subtree.
+	EstCost float64
+	// Executed reports whether the node ran at all; the remaining runtime
+	// fields are zero when it did not (e.g. a pruned LIMIT input).
+	Executed bool
+	// ActualRows is the measured number of rows the node emitted.
+	ActualRows int64
+	// QError is the misestimation factor max(est/actual, actual/est) with
+	// both sides floored at one row. 1.0 means a perfect estimate.
+	QError float64
+	// Invocations counts node executions (>1 for re-materialized inputs).
+	Invocations int64
+	// Batches counts morsel batches processed by parallel paths.
+	Batches int64
+	// WallNanos is inclusive wall time (node plus inputs); SelfNanos is the
+	// node's own share after subtracting executed children.
+	WallNanos, SelfNanos int64
+	// PeakMemRows is the peak number of rows buffered at once.
+	PeakMemRows int64
+	// WorkerRows holds per-worker (per-partition for Exchange) row counts;
+	// imbalance here is partition skew.
+	WorkerRows []int64
+	// Children are the node's inputs in plan order.
+	Children []*NodeAnalysis
+}
+
+// buildAnalysis converts collected run metrics into the public analysis tree.
+func buildAnalysis(p physical.Plan, md *logical.Metadata, rm *physical.RunMetrics) *PlanAnalysis {
+	return &PlanAnalysis{
+		Text: physical.FormatAnalyze(p, md, rm),
+		Root: buildNodeAnalysis(p, md, rm),
+	}
+}
+
+func buildNodeAnalysis(p physical.Plan, md *logical.Metadata, rm *physical.RunMetrics) *NodeAnalysis {
+	est, cost := p.Estimate()
+	n := &NodeAnalysis{
+		Op:      physical.Describe(p, md),
+		EstRows: est,
+		EstCost: cost,
+	}
+	if m := rm.Lookup(p); m != nil {
+		n.Executed = true
+		n.ActualRows = m.ActualRows
+		n.QError = physical.QError(est, float64(m.ActualRows))
+		n.Invocations = m.Invocations
+		n.Batches = m.Batches
+		n.WallNanos = m.WallNanos
+		n.PeakMemRows = m.PeakMemRows
+		n.WorkerRows = append([]int64(nil), m.WorkerRows...)
+		n.SelfNanos = m.WallNanos
+		for _, c := range physical.Children(p) {
+			if cm := rm.Lookup(c); cm != nil {
+				n.SelfNanos -= cm.WallNanos
+			}
+		}
+		if n.SelfNanos < 0 {
+			n.SelfNanos = 0
+		}
+	}
+	for _, c := range physical.Children(p) {
+		n.Children = append(n.Children, buildNodeAnalysis(c, md, rm))
+	}
+	return n
+}
+
+// Walk visits the node and its descendants in pre-order.
+func (n *NodeAnalysis) Walk(fn func(*NodeAnalysis)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// QueryAnalyze executes a SELECT with per-operator instrumentation enabled
+// and returns both the query result and the runtime-metrics tree — the
+// programmatic form of EXPLAIN ANALYZE. The observations are also recorded
+// into the engine's feedback ring (see FeedbackReport).
+func (e *Engine) QueryAnalyze(text string) (*Result, *PlanAnalysis, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("queryopt: QueryAnalyze supports SELECT statements only, got %T", stmt)
+	}
+	return e.run(sel, false, true)
+}
+
+// FeedbackEntry is one retained estimate-vs-actual observation.
+type FeedbackEntry struct {
+	// Node is the operator description the observation belongs to.
+	Node string
+	// Est and Actual are the estimated and measured cardinalities.
+	Est, Actual float64
+	// QError is the misestimation factor between them.
+	QError float64
+}
+
+// FeedbackLen reports how many observations the engine's feedback ring
+// currently retains.
+func (e *Engine) FeedbackLen() int { return e.feedback.Len() }
+
+// FeedbackReport returns up to k retained observations ordered by descending
+// q-error: the worst cardinality-misestimation offenders seen by analyzed
+// executions, i.e. where refreshed statistics would pay off most.
+func (e *Engine) FeedbackReport(k int) []FeedbackEntry {
+	worst := e.feedback.WorstOffenders(k)
+	out := make([]FeedbackEntry, len(worst))
+	for i, w := range worst {
+		out[i] = FeedbackEntry{Node: w.Node, Est: w.Est, Actual: w.Actual, QError: w.QError}
+	}
+	return out
+}

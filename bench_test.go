@@ -69,6 +69,9 @@ func BenchmarkE20JointDistribution(b *testing.B) {
 func BenchmarkE21ParallelExecution(b *testing.B) {
 	benchExperiment(b, experiments.E21ParallelExecution)
 }
+func BenchmarkE22AnalyzeFeedback(b *testing.B) {
+	benchExperiment(b, experiments.E22AnalyzeFeedback)
+}
 
 // --- engine micro-benchmarks ---
 
@@ -170,6 +173,31 @@ func BenchmarkExecGroupBy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Exec("SELECT did, COUNT(*), AVG(sal) FROM emp GROUP BY did"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecAnalyzeOff / BenchmarkExecAnalyzeOn compare the same query with
+// instrumentation disabled and enabled. The off path must stay near the
+// pre-instrumentation baseline: runPlan's only added work is a nil check.
+func BenchmarkExecAnalyzeOff(b *testing.B) {
+	e := benchDB(b, 20000)
+	q := "SELECT did, COUNT(*), AVG(sal) FROM emp WHERE sal > 100 GROUP BY did"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecAnalyzeOn(b *testing.B) {
+	e := benchDB(b, 20000)
+	q := "SELECT did, COUNT(*), AVG(sal) FROM emp WHERE sal > 100 GROUP BY did"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.QueryAnalyze(q); err != nil {
 			b.Fatal(err)
 		}
 	}

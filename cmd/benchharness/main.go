@@ -6,6 +6,8 @@
 //	go run ./cmd/benchharness E2 E10     # a subset
 //	go run ./cmd/benchharness parallel   # serial-vs-parallel wall-clock sweep
 //	                                     # → BENCH_parallel.json
+//	go run ./cmd/benchharness analyze    # random corpus under EXPLAIN ANALYZE
+//	                                     # → BENCH_analyze.json (q-error distribution)
 package main
 
 import (
@@ -41,8 +43,40 @@ func parallelBench() error {
 	return nil
 }
 
+// analyzeBench runs the random query corpus under per-operator
+// instrumentation and writes BENCH_analyze.json: the estimate-vs-actual
+// q-error distribution (percentiles, geometric mean, fraction within a factor
+// of two) at serial and parallel degrees, with the worst offenders named.
+func analyzeBench() error {
+	res := experiments.RunAnalyzeBench(200, 20000, []int{1, 4}, 22)
+	for _, p := range res.Points {
+		fmt.Printf("degree=%d  nodes=%d  geomean=%.2f  p50=%.2f  p90=%.2f  p99=%.2f  max=%.2f  within2x=%.1f%%\n",
+			p.Degree, p.Nodes, p.GeoMeanQError, p.P50QError, p.P90QError, p.P99QError, p.MaxQError, p.WithinFactor2*100)
+		for _, w := range p.WorstOffenders {
+			fmt.Printf("  offender: %-60s est=%-8.0f actual=%-8.0f q_err=%.2f\n", w.Node, w.Est, w.Actual, w.QError)
+		}
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_analyze.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_analyze.json")
+	return nil
+}
+
 func main() {
 	start := time.Now()
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		if err := analyzeBench(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("analyze bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "parallel" {
 		if err := parallelBench(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -55,7 +89,7 @@ func main() {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E21)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E22)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

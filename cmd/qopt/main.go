@@ -25,6 +25,7 @@ func main() {
 	stmt := flag.String("e", "", "execute one statement and exit")
 	useMV := flag.Bool("matviews", true, "answer queries using materialized views")
 	par := flag.Int("parallel", 1, "execute with this degree of parallelism (morsel-driven executor, §7.1)")
+	analyzeAll := flag.Bool("analyze", false, "run every SELECT as EXPLAIN ANALYZE (per-operator runtime metrics)")
 	flag.Parse()
 
 	opts := queryopt.Options{UseMaterializedViews: *useMV, Parallelism: *par}
@@ -59,7 +60,7 @@ func main() {
 	}
 
 	if *stmt != "" {
-		if !runStmt(eng, *stmt) {
+		if !runStmt(eng, *stmt, *analyzeAll) {
 			os.Exit(1)
 		}
 		return
@@ -74,7 +75,7 @@ func main() {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" && line != "exit" && line != "quit" {
-			runStmt(eng, line)
+			runStmt(eng, line, *analyzeAll)
 		}
 		if line == "exit" || line == "quit" {
 			break
@@ -90,7 +91,12 @@ func isTerminalish() bool {
 	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
-func runStmt(eng *queryopt.Engine, stmt string) bool {
+func runStmt(eng *queryopt.Engine, stmt string, analyze bool) bool {
+	// With -analyze, plain SELECTs run as EXPLAIN ANALYZE: the query executes
+	// and the output is its plan annotated with runtime metrics.
+	if analyze && strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "SELECT") {
+		stmt = "EXPLAIN ANALYZE " + stmt
+	}
 	start := time.Now()
 	res, err := eng.Exec(stmt)
 	if err != nil {

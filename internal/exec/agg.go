@@ -52,11 +52,14 @@ func (a *countAcc) add(v datum.D) {
 func (a *countAcc) merge(o aggAcc)  { a.n += o.(*countAcc).n }
 func (a *countAcc) result() datum.D { return datum.NewInt(a.n) }
 
+// sumAcc sums ints exactly in int64; float inputs switch it to a compensated
+// exact float sum so the result is bit-identical whether rows arrive in one
+// serial stream or as morsel partials merged at any parallelism degree.
 type sumAcc struct {
 	any     bool
 	isFloat bool
 	i       int64
-	f       float64
+	f       compSum
 }
 
 func (a *sumAcc) add(v datum.D) {
@@ -65,14 +68,20 @@ func (a *sumAcc) add(v datum.D) {
 	}
 	a.any = true
 	if v.Kind() == datum.KindFloat || a.isFloat {
-		if !a.isFloat {
-			a.f = float64(a.i)
-			a.isFloat = true
-		}
-		a.f += v.Float()
+		a.promote()
+		a.f.add(v.Float())
 		return
 	}
 	a.i += v.Int()
+}
+
+// promote switches an int-typed accumulator to the float path, carrying the
+// integer partial sum into the expansion.
+func (a *sumAcc) promote() {
+	if !a.isFloat {
+		a.f.add(float64(a.i))
+		a.isFloat = true
+	}
 }
 
 func (a *sumAcc) merge(o aggAcc) {
@@ -82,14 +91,11 @@ func (a *sumAcc) merge(o aggAcc) {
 	}
 	a.any = true
 	if b.isFloat || a.isFloat {
-		if !a.isFloat {
-			a.f = float64(a.i)
-			a.isFloat = true
-		}
+		a.promote()
 		if b.isFloat {
-			a.f += b.f
+			a.f.merge(&b.f)
 		} else {
-			a.f += float64(b.i)
+			a.f.add(float64(b.i))
 		}
 		return
 	}
@@ -101,14 +107,17 @@ func (a *sumAcc) result() datum.D {
 		return datum.Null
 	}
 	if a.isFloat {
-		return datum.NewFloat(a.f)
+		return datum.NewFloat(a.f.value())
 	}
 	return datum.NewInt(a.i)
 }
 
+// avgAcc carries an exact sum and a count; like sumAcc, the division happens
+// once at result time over the order-independent exact sum, so parallel and
+// serial AVG agree to the bit.
 type avgAcc struct {
 	n   int64
-	sum float64
+	sum compSum
 }
 
 func (a *avgAcc) add(v datum.D) {
@@ -116,20 +125,20 @@ func (a *avgAcc) add(v datum.D) {
 		return
 	}
 	a.n++
-	a.sum += v.Float()
+	a.sum.add(v.Float())
 }
 
 func (a *avgAcc) merge(o aggAcc) {
 	b := o.(*avgAcc)
 	a.n += b.n
-	a.sum += b.sum
+	a.sum.merge(&b.sum)
 }
 
 func (a *avgAcc) result() datum.D {
 	if a.n == 0 {
 		return datum.Null
 	}
-	return datum.NewFloat(a.sum / float64(a.n))
+	return datum.NewFloat(a.sum.value() / float64(a.n))
 }
 
 type minmaxAcc struct {

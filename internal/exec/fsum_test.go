@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datum"
+)
+
+// TestCompSumOrderIndependent: any partitioning and ordering of the same
+// multiset of floats must round to the same bits.
+func TestCompSumOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Wildly mixed magnitudes to provoke cancellation.
+			vals[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+		var serial compSum
+		for _, v := range vals {
+			serial.add(v)
+		}
+		want := serial.value()
+
+		// Shuffled two-phase: random partition count, random order inside.
+		perm := rng.Perm(n)
+		parts := 1 + rng.Intn(8)
+		partials := make([]compSum, parts)
+		for i, pi := range perm {
+			partials[i%parts].add(vals[pi])
+		}
+		var merged compSum
+		for i := range partials {
+			merged.merge(&partials[i])
+		}
+		if got := merged.value(); got != want {
+			t.Fatalf("trial %d: serial=%x merged=%x (n=%d parts=%d)", trial, want, got, n, parts)
+		}
+	}
+}
+
+// TestCompSumExact: the expansion is exact where a naive sum is not.
+func TestCompSumExact(t *testing.T) {
+	var c compSum
+	c.add(1e16)
+	c.add(1)
+	c.add(-1e16)
+	if got := c.value(); got != 1 {
+		t.Fatalf("1e16 + 1 - 1e16 = %v, want 1", got)
+	}
+	var d compSum
+	for i := 0; i < 10; i++ {
+		d.add(0.1)
+	}
+	naive := 0.0
+	for i := 0; i < 10; i++ {
+		naive += 0.1
+	}
+	if got := d.value(); got != 1.0 {
+		t.Fatalf("10 * 0.1 = %v, want exactly 1.0 (naive gives %v)", got, naive)
+	}
+}
+
+// TestCompSumSpecials: infinities and NaNs still propagate.
+func TestCompSumSpecials(t *testing.T) {
+	var c compSum
+	c.add(1)
+	c.add(math.Inf(1))
+	if got := c.value(); !math.IsInf(got, 1) {
+		t.Fatalf("sum with +Inf = %v", got)
+	}
+	var d compSum
+	d.add(math.Inf(1))
+	d.add(math.Inf(-1))
+	if got := d.value(); !math.IsNaN(got) {
+		t.Fatalf("+Inf + -Inf = %v, want NaN", got)
+	}
+}
+
+// TestSumAvgAccBitIdentical: the SQL accumulators built on compSum agree
+// between one serial accumulator and merged partials, bit for bit.
+func TestSumAvgAccBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]datum.D, 400)
+	for i := range vals {
+		vals[i] = datum.NewFloat((rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6)))
+	}
+	for _, parts := range []int{2, 3, 8} {
+		serialSum, serialAvg := &sumAcc{}, &avgAcc{}
+		for _, v := range vals {
+			serialSum.add(v)
+			serialAvg.add(v)
+		}
+		sums := make([]*sumAcc, parts)
+		avgs := make([]*avgAcc, parts)
+		for i := range sums {
+			sums[i], avgs[i] = &sumAcc{}, &avgAcc{}
+		}
+		for i, v := range vals {
+			sums[i%parts].add(v)
+			avgs[i%parts].add(v)
+		}
+		mergedSum, mergedAvg := &sumAcc{}, &avgAcc{}
+		for i := range sums {
+			mergedSum.merge(sums[i])
+			mergedAvg.merge(avgs[i])
+		}
+		if a, b := serialSum.result().Float(), mergedSum.result().Float(); a != b {
+			t.Errorf("SUM differs at %d partitions: serial=%x merged=%x", parts, a, b)
+		}
+		if a, b := serialAvg.result().Float(), mergedAvg.result().Float(); a != b {
+			t.Errorf("AVG differs at %d partitions: serial=%x merged=%x", parts, a, b)
+		}
+	}
+}

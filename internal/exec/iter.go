@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/datum"
 	"repro/internal/logical"
@@ -46,6 +47,7 @@ func (c *Ctx) sortResult(res *Result, by logical.Ordering) error {
 		}
 		spec[i] = datum.SortSpec{Col: off, Desc: o.Desc}
 	}
+	c.noteMem(int64(len(res.Rows)))
 	if c.parallel() && len(res.Rows) >= minParallelRows {
 		res.Rows = c.sortRowsParallel(res.Rows, spec)
 		return nil
@@ -57,10 +59,28 @@ func (c *Ctx) sortResult(res *Result, by logical.Ordering) error {
 	return nil
 }
 
-// runPlan dispatches on the operator type. Operators materialize their
+// runPlan executes one operator, metering it when analyze mode is on. The
+// nil check is the entire cost of the instrumentation when analyze is off.
+func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
+	if c.Metrics == nil {
+		return c.execPlan(p)
+	}
+	m := c.Metrics.Node(p)
+	m.Invocations++
+	prev := c.curNode
+	c.curNode = m
+	start := time.Now()
+	rows, err := c.execPlan(p)
+	m.WallNanos += time.Since(start).Nanoseconds()
+	m.ActualRows += int64(len(rows))
+	c.curNode = prev
+	return rows, err
+}
+
+// execPlan dispatches on the operator type. Operators materialize their
 // output; inner operators of joins may be re-materialized only once (the
 // engine caches nothing across calls — joins materialize inputs explicitly).
-func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
+func (c *Ctx) execPlan(p physical.Plan) ([]datum.Row, error) {
 	switch t := p.(type) {
 	case *physical.TableScan:
 		return c.runTableScan(t)
@@ -583,6 +603,7 @@ func (c *Ctx) runHashJoin(t *physical.HashJoin) ([]datum.Row, error) {
 		h := rr.Hash(rOff)
 		build[h] = append(build[h], i)
 	}
+	c.noteMem(int64(len(right)))
 	combined := append(append([]logical.ColumnID{}, leftLayout...), rightLayout...)
 	e := newEnv(combined, nil)
 	rightWidth := len(rightLayout)
@@ -682,5 +703,6 @@ func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs
 		}
 		gt.add(key, key.Hash(seqOffsets(len(key))), args)
 	}
+	c.noteMem(int64(len(gt.order)))
 	return gt.rows(), nil
 }

@@ -107,8 +107,14 @@ func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 		})
 	}
 	wg.Wait()
-	for _, wc := range children {
+	for w, wc := range children {
 		c.Counters.add(wc.Counters)
+		// Per-worker row counts merge into the analyzed operator at the
+		// barrier — same discipline as the counters, so analyze mode stays
+		// race-clean. Zero-row phases (e.g. hash builds) are not recorded.
+		if c.curNode != nil && wc.Counters.RowsProcessed > 0 {
+			c.curNode.AddWorkerRows(w, wc.Counters.RowsProcessed)
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -127,6 +133,9 @@ func (c *Ctx) forMorsels(n int, fn func(wc *Ctx, m, lo, hi int) error) error {
 	nm := numMorsels(n)
 	if nm == 0 {
 		return nil
+	}
+	if c.curNode != nil {
+		c.curNode.Batches += int64(nm)
 	}
 	w := c.workers()
 	if w > nm {
@@ -299,6 +308,7 @@ func (c *Ctx) runHashJoinParallel(t *physical.HashJoin, left, right []datum.Row,
 	if err != nil {
 		return nil, err
 	}
+	c.noteMem(int64(len(right)))
 
 	// Morsel-parallel probe.
 	leftLayout, rightLayout := t.Left.Columns(), t.Right.Columns()
@@ -631,12 +641,20 @@ func (c *Ctx) runGroupByParallel(in []datum.Row, layout []logical.ColumnID, keyO
 	if err != nil {
 		return nil, err
 	}
+	// Peak memory: the thread-local tables coexist until the merge completes.
+	var partial int64
+	for _, gt := range tables {
+		if gt != nil {
+			partial += int64(len(gt.order))
+		}
+	}
 	final := newGroupTable(len(groupCols), aggs)
 	for _, gt := range tables {
 		if gt != nil {
 			final.mergeFrom(gt)
 		}
 	}
+	c.noteMem(partial + int64(len(final.order)))
 	return final.rows(), nil
 }
 
@@ -788,6 +806,14 @@ func (c *Ctx) runExchange(t *physical.Exchange) ([]datum.Row, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.curNode != nil {
+		// Per-partition row counts are the exchange's skew signal: a hash
+		// partitioning that lands most rows in one stream shows up here.
+		for p := range streams {
+			c.curNode.AddWorkerRows(p, int64(len(streams[p])))
+		}
+		c.curNode.NoteMem(int64(len(in)))
 	}
 
 	if len(t.MergeOrdering) > 0 {

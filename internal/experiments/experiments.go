@@ -92,6 +92,7 @@ func All() []Table {
 		E19Parametric(),
 		E20JointDistribution(),
 		E21ParallelExecution(),
+		E22AnalyzeFeedback(),
 	}
 }
 

@@ -1,0 +1,104 @@
+package physical
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/logical"
+)
+
+// FeedbackEntry is one (plan node, estimated rows, actual rows) observation
+// recorded by an analyzed execution — the raw material of execution feedback.
+type FeedbackEntry struct {
+	Node   string  // operator description (Describe output)
+	Est    float64 // optimizer's estimated cardinality
+	Actual float64 // measured cardinality
+	QError float64 // misestimation factor, QError(Est, Actual)
+}
+
+// FeedbackRing is a fixed-capacity ring buffer of estimate-vs-actual
+// observations. Analyzed executions append to it; reports over the retained
+// window surface the worst q-error offenders, the places where collecting
+// better statistics (or abandoning the independence assumption) would pay
+// off most. The ring is safe for concurrent use.
+type FeedbackRing struct {
+	mu   sync.Mutex
+	buf  []FeedbackEntry
+	next int
+	full bool
+}
+
+// NewFeedbackRing returns a ring retaining the last capacity observations
+// (minimum 1).
+func NewFeedbackRing(capacity int) *FeedbackRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FeedbackRing{buf: make([]FeedbackEntry, capacity)}
+}
+
+// Record appends one observation, evicting the oldest when full.
+func (r *FeedbackRing) Record(node string, est, actual float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = FeedbackEntry{Node: node, Est: est, Actual: actual, QError: QError(est, actual)}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports how many observations the ring currently retains.
+func (r *FeedbackRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Entries returns the retained observations, oldest first.
+func (r *FeedbackRing) Entries() []FeedbackEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]FeedbackEntry{}, r.buf[:r.next]...)
+	}
+	out := make([]FeedbackEntry, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// WorstOffenders returns up to k retained observations ordered by descending
+// q-error — the report that tells the optimizer (or its operator) which
+// estimates runtime truth contradicts hardest.
+func (r *FeedbackRing) WorstOffenders(k int) []FeedbackEntry {
+	entries := r.Entries()
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].QError > entries[j].QError })
+	if k < len(entries) {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// RecordPlan walks an analyzed plan and records one observation per executed
+// node — the hook an analyzed execution calls at completion.
+func (r *FeedbackRing) RecordPlan(p Plan, md *logical.Metadata, rm *RunMetrics) {
+	if r == nil || rm == nil {
+		return
+	}
+	var walk func(Plan)
+	walk = func(n Plan) {
+		if m := rm.Lookup(n); m != nil {
+			est, _ := n.Estimate()
+			r.Record(Describe(n, md), est, float64(m.ActualRows))
+		}
+		for _, c := range Children(n) {
+			walk(c)
+		}
+	}
+	walk(p)
+}

@@ -449,14 +449,17 @@ func Format(p Plan, md *logical.Metadata) string {
 func formatPlan(sb *strings.Builder, p Plan, md *logical.Metadata, depth int) {
 	indent := strings.Repeat("  ", depth)
 	rows, cost := p.Estimate()
-	line := describe(p, md)
+	line := Describe(p, md)
 	fmt.Fprintf(sb, "%s%s  (rows=%.0f cost=%.1f)\n", indent, line, rows, cost)
 	for _, c := range Children(p) {
 		formatPlan(sb, c, md, depth+1)
 	}
 }
 
-func describe(p Plan, md *logical.Metadata) string {
+// Describe renders one plan node as a single line (operator name plus its
+// salient arguments) — shared by EXPLAIN, EXPLAIN ANALYZE and the feedback
+// report.
+func Describe(p Plan, md *logical.Metadata) string {
 	switch t := p.(type) {
 	case *TableScan:
 		s := fmt.Sprintf("table-scan %s", t.Table.Name)

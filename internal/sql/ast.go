@@ -124,8 +124,13 @@ type AnalyzeStmt struct{ Table string }
 
 func (*AnalyzeStmt) stmt() {}
 
-// ExplainStmt wraps a statement whose plan should be displayed.
-type ExplainStmt struct{ Stmt Statement }
+// ExplainStmt wraps a statement whose plan should be displayed. With Analyze
+// set (EXPLAIN ANALYZE <query>) the statement is also executed and the plan
+// is annotated with per-operator runtime metrics.
+type ExplainStmt struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 

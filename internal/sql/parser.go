@@ -46,7 +46,15 @@ func ParseSelect(input string) (*SelectStmt, error) {
 	return sel, nil
 }
 
-func (p *Parser) peek() Token   { return p.toks[p.pos] }
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+
+// peekAt looks n tokens past the cursor without consuming (EOF-saturating).
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
 func (p *Parser) next() Token   { t := p.toks[p.pos]; p.pos++; return t }
 func (p *Parser) atEOF() bool   { return p.peek().Kind == TokEOF }
 func (p *Parser) save() int     { return p.pos }
@@ -111,11 +119,22 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return &AnalyzeStmt{Table: name}, nil
 	case t.Kind == TokKeyword && t.Text == "EXPLAIN":
 		p.next()
+		// EXPLAIN ANALYZE <query> executes the query and annotates the plan
+		// with runtime metrics. ANALYZE doubles as the statistics statement,
+		// so only treat it as the EXPLAIN modifier when a query follows —
+		// "EXPLAIN ANALYZE emp" still explains the stats command on emp.
+		analyze := false
+		if nt := p.peek(); nt.Kind == TokKeyword && nt.Text == "ANALYZE" {
+			if ft := p.peekAt(1); ft.Kind == TokKeyword && ft.Text == "SELECT" {
+				analyze = true
+				p.next()
+			}
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected a statement, found %s", t)
 	}

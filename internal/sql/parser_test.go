@@ -428,3 +428,62 @@ func TestParseCubeRollup(t *testing.T) {
 		t.Error("unclosed CUBE list should fail")
 	}
 }
+
+// TestParseExplainAnalyze: EXPLAIN ANALYZE is only an execution modifier when
+// a SELECT follows; otherwise ANALYZE after EXPLAIN is the statistics
+// statement being explained. The two must coexist.
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt, err := Parse("EXPLAIN ANALYZE SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok || !ex.Analyze {
+		t.Fatalf("EXPLAIN ANALYZE SELECT parsed as %T analyze=%v", stmt, ok && ex.Analyze)
+	}
+	if _, ok := ex.Stmt.(*SelectStmt); !ok {
+		t.Fatalf("inner statement is %T, want *SelectStmt", ex.Stmt)
+	}
+
+	stmt, err = Parse("EXPLAIN SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := stmt.(*ExplainStmt); ex.Analyze {
+		t.Error("plain EXPLAIN must not set Analyze")
+	}
+
+	stmt, err = Parse("ANALYZE t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an, ok := stmt.(*AnalyzeStmt); !ok || an.Table != "t" {
+		t.Fatalf("ANALYZE t parsed as %T", stmt)
+	}
+
+	// EXPLAIN of the statistics statement: ANALYZE not followed by SELECT.
+	stmt, err = Parse("EXPLAIN ANALYZE t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = stmt.(*ExplainStmt)
+	if ex.Analyze {
+		t.Error("EXPLAIN ANALYZE t must explain the ANALYZE statement, not set analyze mode")
+	}
+	if an, ok := ex.Stmt.(*AnalyzeStmt); !ok || an.Table != "t" {
+		t.Fatalf("inner statement is %T (table %v)", ex.Stmt, ex.Stmt)
+	}
+
+	// Bare EXPLAIN ANALYZE explains analyze-everything.
+	stmt, err = Parse("EXPLAIN ANALYZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = stmt.(*ExplainStmt)
+	if ex.Analyze {
+		t.Error("bare EXPLAIN ANALYZE must not set analyze mode")
+	}
+	if an, ok := ex.Stmt.(*AnalyzeStmt); !ok || an.Table != "" {
+		t.Fatalf("inner statement is %T", ex.Stmt)
+	}
+}

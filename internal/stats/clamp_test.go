@@ -1,0 +1,150 @@
+package stats
+
+// clamp_test.go property-checks the estimator's selectivity algebra: no
+// random combination of conjunctions, disjunctions, negations and pathological
+// leaf predicates (UDPs declaring out-of-range selectivities, columns with
+// corrupt null fractions) may ever produce a selectivity outside [0,1], a
+// negative row estimate, or a filter that amplifies its input cardinality.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/logical"
+)
+
+// randStats builds input statistics for a handful of columns, deliberately
+// including out-of-range null fractions a buggy ANALYZE (or future stat
+// source) might produce.
+func randStats(rng *rand.Rand, cols []logical.ColumnID) *RelStats {
+	in := &RelStats{Rows: float64(rng.Intn(100000)), Cols: map[logical.ColumnID]*ColStat{}}
+	for _, id := range cols {
+		in.Cols[id] = &ColStat{
+			Distinct: float64(rng.Intn(1000)), // may be 0
+			NullFrac: rng.Float64()*1.6 - 0.3, // may be <0 or >1
+		}
+	}
+	return in
+}
+
+// randPred builds a random predicate tree of bounded depth.
+func randPred(rng *rand.Rand, cols []logical.ColumnID, depth int) logical.Scalar {
+	col := func() logical.Scalar { return &logical.Col{ID: cols[rng.Intn(len(cols))]} }
+	konst := func() logical.Scalar { return &logical.Const{Val: datum.NewInt(int64(rng.Intn(100)))} }
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			ops := []logical.CmpOp{logical.CmpEq, logical.CmpNe, logical.CmpLt, logical.CmpLe, logical.CmpGt, logical.CmpGe}
+			return &logical.Cmp{Op: ops[rng.Intn(len(ops))], L: col(), R: konst()}
+		case 1:
+			return &logical.IsNull{E: col(), Negated: rng.Intn(2) == 0}
+		case 2:
+			n := 1 + rng.Intn(6)
+			list := make([]logical.Scalar, n)
+			for i := range list {
+				list[i] = konst()
+			}
+			return &logical.InList{E: col(), List: list, Negated: rng.Intn(2) == 0}
+		case 3:
+			// UDP declaring a selectivity well outside [0,1].
+			return &logical.UDPRef{Name: "udp", Selectivity: rng.Float64()*6 - 3}
+		default:
+			return &logical.Cmp{Op: logical.CmpEq, L: col(), R: col()}
+		}
+	}
+	l := randPred(rng, cols, depth-1)
+	r := randPred(rng, cols, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return &logical.And{L: l, R: r}
+	case 1:
+		return &logical.Or{L: l, R: r}
+	default:
+		return &logical.Not{E: l}
+	}
+}
+
+func TestSelectivityAlwaysInUnitInterval(t *testing.T) {
+	cols := []logical.ColumnID{1, 2, 3, 4}
+	for _, mode := range []Mode{Independence, MostSelective} {
+		rng := rand.New(rand.NewSource(int64(mode) + 5))
+		e := &Estimator{Mode: mode, UseHistograms: true, cache: map[logical.RelExpr]*RelStats{}}
+		for trial := 0; trial < 2000; trial++ {
+			in := randStats(rng, cols)
+			pred := randPred(rng, cols, 4)
+			sel := e.Selectivity(pred, in)
+			if sel < 0 || sel > 1 || math.IsNaN(sel) {
+				t.Fatalf("mode %v trial %d: selectivity %v outside [0,1]\npred: %s", mode, trial, sel, pred)
+			}
+		}
+	}
+}
+
+func TestFilterStatsNeverAmplifiesOrGoesNegative(t *testing.T) {
+	cols := []logical.ColumnID{1, 2, 3, 4}
+	for _, mode := range []Mode{Independence, MostSelective} {
+		rng := rand.New(rand.NewSource(int64(mode) + 77))
+		e := &Estimator{Mode: mode, UseHistograms: true, cache: map[logical.RelExpr]*RelStats{}}
+		for trial := 0; trial < 2000; trial++ {
+			in := randStats(rng, cols)
+			n := 1 + rng.Intn(5)
+			filters := make([]logical.Scalar, n)
+			for i := range filters {
+				filters[i] = randPred(rng, cols, 3)
+			}
+			out := e.filterStats(in, filters)
+			if out.Rows < 0 || math.IsNaN(out.Rows) {
+				t.Fatalf("mode %v trial %d: negative/NaN rows %v", mode, trial, out.Rows)
+			}
+			if out.Rows > in.Rows {
+				t.Fatalf("mode %v trial %d: filter amplified %v -> %v rows", mode, trial, in.Rows, out.Rows)
+			}
+		}
+	}
+}
+
+func TestJoinSelectivityAlwaysInUnitInterval(t *testing.T) {
+	lcols := []logical.ColumnID{1, 2}
+	rcols := []logical.ColumnID{3, 4}
+	for _, mode := range []Mode{Independence, MostSelective} {
+		rng := rand.New(rand.NewSource(int64(mode) + 99))
+		e := &Estimator{Mode: mode, UseHistograms: true, cache: map[logical.RelExpr]*RelStats{}}
+		for trial := 0; trial < 2000; trial++ {
+			l := randStats(rng, lcols)
+			r := randStats(rng, rcols)
+			n := 1 + rng.Intn(4)
+			preds := make([]logical.Scalar, n)
+			for i := range preds {
+				// Mix genuine join predicates with mixed/filter-shaped ones.
+				if rng.Intn(2) == 0 {
+					preds[i] = &logical.Cmp{
+						Op: logical.CmpEq,
+						L:  &logical.Col{ID: lcols[rng.Intn(len(lcols))]},
+						R:  &logical.Col{ID: rcols[rng.Intn(len(rcols))]},
+					}
+				} else {
+					preds[i] = randPred(rng, append(append([]logical.ColumnID{}, lcols...), rcols...), 2)
+				}
+			}
+			sel := e.JoinSelectivity(preds, l, r)
+			if sel < 0 || sel > 1 || math.IsNaN(sel) {
+				t.Fatalf("mode %v trial %d: join selectivity %v outside [0,1]", mode, trial, sel)
+			}
+		}
+	}
+}
+
+// TestClamp01 pins the guard itself, NaN included.
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 1}, {math.NaN(), 0},
+		{math.Inf(1), 1}, {math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := clamp01(c.in); got != c.want {
+			t.Errorf("clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -73,7 +73,9 @@ func (e *Estimator) Stats(rel logical.RelExpr) *RelStats {
 		return s
 	}
 	s := e.compute(rel)
-	if s.Rows < 0 {
+	// Guard the row estimate: never negative, never NaN (a poisoned estimate
+	// would silently corrupt every cost above this node).
+	if s.Rows < 0 || math.IsNaN(s.Rows) {
 		s.Rows = 0
 	}
 	e.cache[rel] = s
@@ -264,7 +266,11 @@ func (e *Estimator) filterStats(in *RelStats, filters []logical.Scalar) *RelStat
 	if e.Mode == MostSelective {
 		sel = minSel
 	}
-	out.Rows = in.Rows * sel
+	// The per-conjunct factors are individually clamped, but their product
+	// can still degrade (joint-histogram factors, UDP declarations); clamp
+	// the combined selectivity so the filter never amplifies rows or goes
+	// negative.
+	out.Rows = in.Rows * clamp01(sel)
 	// Cap distincts at the new row count.
 	for id, cs := range out.Cols {
 		if cs.Distinct > out.Rows && out.Rows > 0 {
@@ -346,9 +352,9 @@ func (e *Estimator) Selectivity(pred logical.Scalar, in *RelStats) float64 {
 		l := e.Selectivity(t.L, in)
 		r := e.Selectivity(t.R, in)
 		if e.Mode == MostSelective {
-			return math.Min(l, r)
+			return clamp01(math.Min(l, r))
 		}
-		return l * r
+		return clamp01(l * r)
 	case *logical.Or:
 		l := e.Selectivity(t.L, in)
 		r := e.Selectivity(t.R, in)
@@ -554,9 +560,9 @@ func (e *Estimator) JoinSelectivity(preds []logical.Scalar, l, r *RelStats) floa
 		}
 	}
 	if e.Mode == MostSelective {
-		return minSel
+		return clamp01(minSel)
 	}
-	return sel
+	return clamp01(sel)
 }
 
 func (e *Estimator) joinPredSelectivity(p logical.Scalar, l, r *RelStats) float64 {
@@ -637,8 +643,10 @@ func (e *Estimator) groupByStats(g *logical.GroupBy) *RelStats {
 	return out
 }
 
+// clamp01 confines a selectivity to [0,1]; NaN (e.g. 0/0 from degenerate
+// histograms) maps to 0 so it cannot poison downstream cardinalities.
 func clamp01(f float64) float64 {
-	if f < 0 {
+	if f < 0 || math.IsNaN(f) {
 		return 0
 	}
 	if f > 1 {

@@ -3,17 +3,52 @@ package queryopt
 // parallel_equivalence_test.go extends the equivalence net to the
 // morsel-driven parallel executor: for the same random query corpus, engines
 // running with Parallelism 1, 2 and 8 must return exactly the multiset the
-// serial engine returns — and the identical row order whenever the query has
-// an ORDER BY. Tables here are large enough (thousands of rows) that the
+// serial engine returns — bit-identical floats included (SUM/AVG use exact
+// compensated summation, so partitioning must not change a single bit) — and
+// the identical row order whenever the query has an ORDER BY. Tables here are
+// large enough (thousands of rows) that the
 // parallel operators really fan out rather than falling back to the serial
 // path below the morsel threshold.
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
+
+// exactRow renders one result row with floats in exact hexadecimal form —
+// no rounding workaround. Parallel float aggregates use exact compensated
+// summation, so every bit must match the serial run.
+func exactRow(r []any) string {
+	var sb strings.Builder
+	for j, v := range r {
+		if j > 0 {
+			sb.WriteByte('|')
+		}
+		switch t := v.(type) {
+		case nil:
+			sb.WriteString("NULL")
+		case float64:
+			sb.WriteString(strconv.FormatFloat(t, 'x', -1, 64))
+		default:
+			sb.WriteString(fmt.Sprint(t))
+		}
+	}
+	return sb.String()
+}
+
+// exactRows is the multiset form: exact rows, sorted.
+func exactRows(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = exactRow(r)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // bigRandSchema is randSchema scaled past the morsel threshold (~2k rows).
 func bigRandSchema(t *testing.T, opts Options, seed int64) *Engine {
@@ -83,12 +118,12 @@ func TestParallelQueryEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d trial %d serial: %v\nquery: %s", seed, trial, err, q)
 			}
-			baseline := canonRows(res)
+			baseline := exactRows(res)
 			ordered := strings.Contains(q, "ORDER BY")
 			var orderedBaseline []string
 			if ordered {
 				for _, r := range res.Rows {
-					orderedBaseline = append(orderedBaseline, fmt.Sprint(r...))
+					orderedBaseline = append(orderedBaseline, exactRow(r))
 				}
 			}
 			for i, d := range degrees {
@@ -96,7 +131,7 @@ func TestParallelQueryEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("seed %d trial %d degree %d: %v\nquery: %s", seed, trial, d, err, q)
 				}
-				got := canonRows(pres)
+				got := exactRows(pres)
 				if strings.Join(got, ";") != strings.Join(baseline, ";") {
 					t.Fatalf("seed %d trial %d: degree %d disagrees with serial\nquery: %s\nserial (%d rows): %.500v\ngot    (%d rows): %.500v\nplan:\n%s",
 						seed, trial, d, q, len(baseline), baseline, len(got), got, pres.Plan)
@@ -104,13 +139,73 @@ func TestParallelQueryEquivalence(t *testing.T) {
 				if ordered {
 					var rows []string
 					for _, r := range pres.Rows {
-						rows = append(rows, fmt.Sprint(r...))
+						rows = append(rows, exactRow(r))
 					}
 					if strings.Join(rows, ";") != strings.Join(orderedBaseline, ";") {
 						t.Fatalf("seed %d trial %d: degree %d row order differs under ORDER BY\nquery: %s\nplan:\n%s",
 							seed, trial, d, q, pres.Plan)
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestParallelAllNullAggregates: groups whose aggregate input is entirely
+// NULL must come out the same from the serial and every parallel path —
+// SUM/AVG/MIN/MAX NULL, COUNT(x) 0, COUNT(*) the group size. The table is
+// large enough (4096 rows) that parallel runs really take the morsel path.
+func TestParallelAllNullAggregates(t *testing.T) {
+	build := func(par int) *Engine {
+		e := New(Options{Parallelism: par})
+		t.Cleanup(e.Close)
+		e.MustExec(`CREATE TABLE m (pk INT NOT NULL, g INT, v FLOAT, PRIMARY KEY (pk))`)
+		var rows [][]any
+		for i := 0; i < 4096; i++ {
+			g := i % 8
+			// Groups 0-3 are entirely NULL in v; 4-7 mix NULLs and values.
+			var v any
+			if g >= 4 && i%3 == 0 {
+				v = float64(i%97) + 0.25
+			}
+			rows = append(rows, []any{i, g, v})
+		}
+		if err := e.LoadRows("m", rows); err != nil {
+			t.Fatal(err)
+		}
+		e.MustExec("ANALYZE")
+		return e
+	}
+	q := `SELECT g, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM m GROUP BY g ORDER BY g`
+	serial := build(1)
+	sres, err := serial.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity on the serial truth itself: all-NULL groups 0-3.
+	for _, r := range sres.Rows {
+		if g := r[0].(int64); g < 4 {
+			if r[1].(int64) != 512 || r[2].(int64) != 0 {
+				t.Fatalf("group %d counts wrong: %v", g, r)
+			}
+			for c := 3; c <= 6; c++ {
+				if r[c] != nil {
+					t.Fatalf("group %d column %d = %v, want NULL", g, c, r[c])
+				}
+			}
+		}
+	}
+	for _, par := range []int{2, 4, 8} {
+		pres, err := build(par).Exec(q)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(pres.Rows) != len(sres.Rows) {
+			t.Fatalf("parallelism %d: %d rows, serial has %d", par, len(pres.Rows), len(sres.Rows))
+		}
+		for i := range sres.Rows {
+			if exactRow(pres.Rows[i]) != exactRow(sres.Rows[i]) {
+				t.Errorf("parallelism %d row %d: got %v, serial %v", par, i, pres.Rows[i], sres.Rows[i])
 			}
 		}
 	}

@@ -90,6 +90,10 @@ type Options struct {
 	// degree. 0 or 1 keeps execution serial. Engines used with parallelism
 	// should be Closed to release the pool.
 	Parallelism int
+	// FeedbackCapacity sizes the ring buffer of (plan node, estimated rows,
+	// actual rows) observations recorded by analyzed executions (EXPLAIN
+	// ANALYZE / QueryAnalyze). 0 selects the default of 1024 entries.
+	FeedbackCapacity int
 }
 
 // Engine is an embedded single-process database engine.
@@ -101,6 +105,10 @@ type Engine struct {
 	// pool is the worker pool shared by all parallel query executions of
 	// this engine; created lazily, released by Close.
 	pool *exec.Pool
+	// feedback retains estimate-vs-actual observations from analyzed
+	// executions — the execution-feedback substrate (§5's statistics loop
+	// closed with runtime truth).
+	feedback *physical.FeedbackRing
 }
 
 type udf struct {
@@ -118,7 +126,15 @@ func New(opts Options) *Engine {
 	if opts.Cascades.MaxExprs == 0 {
 		opts.Cascades = cascadesopt.DefaultOptions()
 	}
-	return &Engine{opts: opts, cat: catalog.New(), store: storage.NewStore()}
+	if opts.FeedbackCapacity == 0 {
+		opts.FeedbackCapacity = 1024
+	}
+	return &Engine{
+		opts:     opts,
+		cat:      catalog.New(),
+		store:    storage.NewStore(),
+		feedback: physical.NewFeedbackRing(opts.FeedbackCapacity),
+	}
 }
 
 // Close releases the engine's parallel worker pool, if one was created.
@@ -216,6 +232,29 @@ func (e *Engine) execStmt(stmt sql.Statement, explain bool) (*Result, error) {
 	case *sql.AnalyzeStmt:
 		return e.analyze(t)
 	case *sql.ExplainStmt:
+		if t.Analyze {
+			sel, ok := t.Stmt.(*sql.SelectStmt)
+			if !ok {
+				return nil, fmt.Errorf("queryopt: EXPLAIN ANALYZE supports SELECT statements only")
+			}
+			res, pa, err := e.run(sel, false, true)
+			if err != nil {
+				return nil, err
+			}
+			// Like EXPLAIN, the statement's result is the plan — here
+			// annotated with the runtime metrics of the completed execution.
+			out := &Result{
+				Columns: []string{"plan"},
+				Plan:    pa.Text,
+				EstRows: res.EstRows, EstCost: res.EstCost,
+				Stats:                res.Stats,
+				UsedMaterializedView: res.UsedMaterializedView,
+			}
+			for _, line := range strings.Split(strings.TrimRight(pa.Text, "\n"), "\n") {
+				out.Rows = append(out.Rows, []any{line})
+			}
+			return out, nil
+		}
 		return e.execStmt(t.Stmt, true)
 	case *sql.SelectStmt:
 		return e.query(t, explain)
@@ -377,9 +416,18 @@ func (e *Engine) Build(sel *sql.SelectStmt) (*logical.Query, error) {
 }
 
 func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
+	res, _, err := e.run(sel, explain, false)
+	return res, err
+}
+
+// run optimizes and (unless explain) executes one SELECT. With analyze set,
+// execution collects per-operator runtime metrics, the metrics tree is
+// returned alongside the result, and every (node, est, actual) pair is
+// recorded into the engine's feedback ring.
+func (e *Engine) run(sel *sql.SelectStmt, explain, analyze bool) (*Result, *PlanAnalysis, error) {
 	q, err := e.Build(sel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Materialized-view answering: collect alternatives, optimize each, and
@@ -396,13 +444,16 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 	}
 
 	if e.opts.Optimizer == Reference {
+		if analyze {
+			return nil, nil, fmt.Errorf("queryopt: EXPLAIN ANALYZE requires an optimized plan (reference mode executes logical trees)")
+		}
 		logical.PruneColumns(q)
 		ctx := exec.NewCtx(e.store, q.Meta)
 		res, err := ctx.RunQuery(q)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return e.finish(q, nil, res, ctx, ""), nil
+		return e.finish(q, nil, res, ctx, ""), nil, nil
 	}
 
 	var bestPlan physical.Plan
@@ -412,7 +463,7 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 		logical.PruneColumns(alt.q)
 		plan, err := e.optimizeOne(alt.q)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		_, c := plan.Estimate()
 		if bestPlan == nil {
@@ -442,7 +493,7 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 		}
 		res.EstRows, res.EstCost = bestPlan.Estimate()
 		res.UsedMaterializedView = bestMV
-		return res, nil
+		return res, nil, nil
 	}
 	ctx := exec.NewCtx(e.store, bestQ.Meta)
 	if e.opts.Parallelism > 1 {
@@ -452,11 +503,21 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 		}
 		ctx.Pool = e.pool
 	}
+	var metrics *physical.RunMetrics
+	if analyze {
+		metrics = ctx.EnableAnalyze()
+	}
 	res, err := exec.RunPlanQuery(bestPlan, bestQ, ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return e.finish(bestQ, bestPlan, res, ctx, bestMV), nil
+	out := e.finish(bestQ, bestPlan, res, ctx, bestMV)
+	var pa *PlanAnalysis
+	if analyze {
+		pa = buildAnalysis(bestPlan, bestQ.Meta, metrics)
+		e.feedback.RecordPlan(bestPlan, bestQ.Meta, metrics)
+	}
+	return out, pa, nil
 }
 
 // costModel resolves the engine's cost model (options override or default).
