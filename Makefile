@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench analyze-bench
+.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check
 
 build:
 	go build ./...
@@ -27,3 +27,17 @@ parallel-bench:
 # (estimate-vs-actual q-error distribution).
 analyze-bench:
 	go run ./cmd/benchharness analyze
+
+# Resource-governor sweep: spill overhead under memory budgets plus
+# cancellation latency; writes BENCH_robustness.json.
+robustness-bench:
+	go run ./cmd/benchharness robustness
+
+# Fault-injection, cancellation, spill and goroutine-leak suites under the
+# race detector at a fixed GOMAXPROCS, so worker interleavings are exercised
+# the same way everywhere. CI runs this in addition to `make check`.
+robustness-check:
+	GOMAXPROCS=4 go test -race -count=1 \
+		-run 'Spill|Budget|Cancel|Deadline|Fault|Goroutine|MemAccount|FirstError|WorkerPanic|PoolClose' \
+		. ./internal/exec
+	GOMAXPROCS=4 go test -race -count=1 ./internal/faultfs

@@ -4,6 +4,7 @@
 package queryopt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/logical"
@@ -46,6 +47,12 @@ type NodeAnalysis struct {
 	WallNanos, SelfNanos int64
 	// PeakMemRows is the peak number of rows buffered at once.
 	PeakMemRows int64
+	// PeakMemBytes is the peak working memory the node reserved from the
+	// query's memory account, in modeled bytes.
+	PeakMemBytes int64
+	// Spills counts temp files the node wrote when degrading under the
+	// memory budget; SpillBytes is their total size.
+	Spills, SpillBytes int64
 	// WorkerRows holds per-worker (per-partition for Exchange) row counts;
 	// imbalance here is partition skew.
 	WorkerRows []int64
@@ -76,6 +83,9 @@ func buildNodeAnalysis(p physical.Plan, md *logical.Metadata, rm *physical.RunMe
 		n.Batches = m.Batches
 		n.WallNanos = m.WallNanos
 		n.PeakMemRows = m.PeakMemRows
+		n.PeakMemBytes = m.PeakMemBytes
+		n.Spills = m.Spills
+		n.SpillBytes = m.SpillBytes
 		n.WorkerRows = append([]int64(nil), m.WorkerRows...)
 		n.SelfNanos = m.WallNanos
 		for _, c := range physical.Children(p) {
@@ -109,6 +119,12 @@ func (n *NodeAnalysis) Walk(fn func(*NodeAnalysis)) {
 // programmatic form of EXPLAIN ANALYZE. The observations are also recorded
 // into the engine's feedback ring (see FeedbackReport).
 func (e *Engine) QueryAnalyze(text string) (*Result, *PlanAnalysis, error) {
+	return e.QueryAnalyzeContext(context.Background(), text)
+}
+
+// QueryAnalyzeContext is QueryAnalyze under a context: cancellation and
+// deadlines propagate to every execution goroutine (see ExecContext).
+func (e *Engine) QueryAnalyzeContext(ctx context.Context, text string) (*Result, *PlanAnalysis, error) {
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, nil, err
@@ -117,7 +133,7 @@ func (e *Engine) QueryAnalyze(text string) (*Result, *PlanAnalysis, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("queryopt: QueryAnalyze supports SELECT statements only, got %T", stmt)
 	}
-	return e.run(sel, false, true)
+	return e.run(ctx, sel, false, true)
 }
 
 // FeedbackEntry is one retained estimate-vs-actual observation.

@@ -72,6 +72,9 @@ func BenchmarkE21ParallelExecution(b *testing.B) {
 func BenchmarkE22AnalyzeFeedback(b *testing.B) {
 	benchExperiment(b, experiments.E22AnalyzeFeedback)
 }
+func BenchmarkE23Robustness(b *testing.B) {
+	benchExperiment(b, experiments.E23Robustness)
+}
 
 // --- engine micro-benchmarks ---
 

@@ -1,4 +1,4 @@
-// Command benchharness regenerates every table of the reproduction (E1–E21,
+// Command benchharness regenerates every table of the reproduction (E1–E23,
 // mapped to the paper's figures and claims in DESIGN.md). Run with no
 // arguments for everything, or pass experiment ids:
 //
@@ -8,6 +8,8 @@
 //	                                     # → BENCH_parallel.json
 //	go run ./cmd/benchharness analyze    # random corpus under EXPLAIN ANALYZE
 //	                                     # → BENCH_analyze.json (q-error distribution)
+//	go run ./cmd/benchharness robustness # memory-budget/spill overhead and
+//	                                     # cancellation latency → BENCH_robustness.json
 package main
 
 import (
@@ -67,8 +69,45 @@ func analyzeBench() error {
 	return nil
 }
 
+// robustnessBench runs the large resource-governor sweep and writes
+// BENCH_robustness.json: spill counts, bytes and wall-clock overhead of
+// memory-budgeted execution versus in-memory (results verified identical),
+// plus the latency of canceling a mid-flight query at degrees 1/4/8.
+func robustnessBench() error {
+	res := experiments.RunRobustnessBench(150000, []int64{4 << 20, 1 << 20, 64 << 10}, []int{1, 4, 8}, 3)
+	for _, p := range res.SpillPoints {
+		label := "unlimited"
+		if p.BudgetBytes > 0 {
+			label = fmt.Sprintf("%dKB", p.BudgetBytes>>10)
+		}
+		fmt.Printf("budget=%-10s wall=%.3fs  spills=%d  spill_bytes=%d  peak=%d  overhead=%.2fx  identical=%v\n",
+			label, p.WallSeconds, p.Spills, p.SpillBytes, p.PeakMemBytes, p.OverheadVsInMemory, p.RowsIdentical)
+	}
+	for _, c := range res.CancelPoints {
+		fmt.Printf("cancel degree=%d  latency=%.2fms  (query %.1fms)\n",
+			c.Degree, c.LatencySeconds*1000, c.QuerySeconds*1000)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_robustness.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_robustness.json")
+	return nil
+}
+
 func main() {
 	start := time.Now()
+	if len(os.Args) > 1 && os.Args[1] == "robustness" {
+		if err := robustnessBench(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("robustness bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "analyze" {
 		if err := analyzeBench(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -89,7 +128,7 @@ func main() {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E22)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E23)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

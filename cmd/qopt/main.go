@@ -9,6 +9,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,9 +27,11 @@ func main() {
 	useMV := flag.Bool("matviews", true, "answer queries using materialized views")
 	par := flag.Int("parallel", 1, "execute with this degree of parallelism (morsel-driven executor, §7.1)")
 	analyzeAll := flag.Bool("analyze", false, "run every SELECT as EXPLAIN ANALYZE (per-operator runtime metrics)")
+	memBudget := flag.Int64("membudget", 0, "per-query working-memory cap in bytes; operators spill to disk past it (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline, e.g. 500ms or 10s (0 = none)")
 	flag.Parse()
 
-	opts := queryopt.Options{UseMaterializedViews: *useMV, Parallelism: *par}
+	opts := queryopt.Options{UseMaterializedViews: *useMV, Parallelism: *par, MemBudget: *memBudget}
 	switch strings.ToLower(*optimizer) {
 	case "systemr", "system-r":
 		opts.Optimizer = queryopt.SystemR
@@ -60,7 +63,7 @@ func main() {
 	}
 
 	if *stmt != "" {
-		if !runStmt(eng, *stmt, *analyzeAll) {
+		if !runStmt(eng, *stmt, *analyzeAll, *timeout) {
 			os.Exit(1)
 		}
 		return
@@ -75,7 +78,7 @@ func main() {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" && line != "exit" && line != "quit" {
-			runStmt(eng, line, *analyzeAll)
+			runStmt(eng, line, *analyzeAll, *timeout)
 		}
 		if line == "exit" || line == "quit" {
 			break
@@ -91,14 +94,20 @@ func isTerminalish() bool {
 	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
-func runStmt(eng *queryopt.Engine, stmt string, analyze bool) bool {
+func runStmt(eng *queryopt.Engine, stmt string, analyze bool, timeout time.Duration) bool {
 	// With -analyze, plain SELECTs run as EXPLAIN ANALYZE: the query executes
 	// and the output is its plan annotated with runtime metrics.
 	if analyze && strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "SELECT") {
 		stmt = "EXPLAIN ANALYZE " + stmt
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := eng.Exec(stmt)
+	res, err := eng.ExecContext(ctx, stmt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return false
@@ -126,6 +135,9 @@ func runStmt(eng *queryopt.Engine, stmt string, analyze bool) bool {
 		fmt.Printf("(%d rows, %s", len(res.Rows), time.Since(start).Round(time.Microsecond))
 		if res.Stats.PagesRead > 0 {
 			fmt.Printf(", %d simulated pages", res.Stats.PagesRead)
+		}
+		if res.Stats.Spills > 0 {
+			fmt.Printf(", %d spills (%d bytes)", res.Stats.Spills, res.Stats.SpillBytes)
 		}
 		if res.UsedMaterializedView != "" {
 			fmt.Printf(", via matview %s", res.UsedMaterializedView)

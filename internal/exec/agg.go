@@ -208,13 +208,20 @@ func (a *distinctAcc) merge(o aggAcc) {
 
 func (a *distinctAcc) result() datum.D { return a.inner.result() }
 
-// groupTable accumulates groups keyed by grouping-column values.
+// groupTable accumulates groups keyed by grouping-column values. When mem is
+// set, every new group reserves its modeled footprint from the account and
+// add/ensure fail with the budget error instead of growing — the caller then
+// degrades to spillGroupBy.
 type groupTable struct {
 	aggs     []logical.AggItem
 	groups   map[uint64][]*groupEntry
 	order    []*groupEntry // insertion order for determinism
 	scalar   bool          // no group cols: always exactly one group
 	groupLen int
+	mem      *MemAccount // optional memory account, charged per group
+	memOp    string      // operator name reported on budget errors
+	floor    int64       // minimal working set always granted (spill partitions)
+	charged  int64       // bytes reserved so far; returned by release
 }
 
 type groupEntry struct {
@@ -230,16 +237,38 @@ func newGroupTable(groupLen int, aggs []logical.AggItem) *groupTable {
 		groupLen: groupLen,
 	}
 	if gt.scalar {
+		// mem is never set this early, so the single global group cannot fail.
 		gt.ensure(nil, 0)
 	}
 	return gt
 }
 
-func (gt *groupTable) ensure(key datum.Row, hash uint64) *groupEntry {
+// entryBytes models the footprint of one group: key data plus bookkeeping
+// plus a fixed per-accumulator cost.
+func (gt *groupTable) entryBytes(key datum.Row) int64 {
+	return int64(key.Size()) + entryOverhead + int64(48*len(gt.aggs))
+}
+
+// release returns every byte this table reserved to the account.
+func (gt *groupTable) release() {
+	if gt.mem != nil && gt.charged > 0 {
+		gt.mem.Shrink(gt.charged)
+		gt.charged = 0
+	}
+}
+
+func (gt *groupTable) ensure(key datum.Row, hash uint64) (*groupEntry, error) {
 	for _, e := range gt.groups[hash] {
 		if keysEqual(e.key, key) {
-			return e
+			return e, nil
 		}
+	}
+	if gt.mem != nil {
+		n := gt.entryBytes(key)
+		if err := gt.mem.GrowFloor(gt.memOp, n, gt.charged, gt.floor); err != nil {
+			return nil, err
+		}
+		gt.charged += n
 	}
 	e := &groupEntry{key: key, accs: make([]aggAcc, len(gt.aggs))}
 	for i, a := range gt.aggs {
@@ -247,7 +276,7 @@ func (gt *groupTable) ensure(key datum.Row, hash uint64) *groupEntry {
 	}
 	gt.groups[hash] = append(gt.groups[hash], e)
 	gt.order = append(gt.order, e)
-	return e
+	return e, nil
 }
 
 func keysEqual(a, b datum.Row) bool {
@@ -263,30 +292,39 @@ func keysEqual(a, b datum.Row) bool {
 }
 
 // add feeds one input row: key values plus the evaluated aggregate arguments
-// (one per agg; COUNT(*) entries get a non-NULL placeholder).
-func (gt *groupTable) add(key datum.Row, hash uint64, argVals []datum.D) {
+// (one per agg; COUNT(*) entries get a non-NULL placeholder). It fails only
+// when creating the group would exceed the memory budget.
+func (gt *groupTable) add(key datum.Row, hash uint64, argVals []datum.D) error {
 	if gt.scalar {
 		key, hash = nil, 0 // single global group
 	}
-	e := gt.ensure(key, hash)
+	e, err := gt.ensure(key, hash)
+	if err != nil {
+		return err
+	}
 	for i := range gt.aggs {
 		e.accs[i].add(argVals[i])
 	}
+	return nil
 }
 
 // mergeFrom folds another table's groups into gt (same group layout and
 // aggregates) — the merge phase of two-phase parallel aggregation.
-func (gt *groupTable) mergeFrom(o *groupTable) {
+func (gt *groupTable) mergeFrom(o *groupTable) error {
 	for _, e := range o.order {
 		var h uint64
 		if !gt.scalar && len(e.key) > 0 {
 			h = e.key.Hash(seqOffsets(len(e.key)))
 		}
-		dst := gt.ensure(e.key, h)
+		dst, err := gt.ensure(e.key, h)
+		if err != nil {
+			return err
+		}
 		for i := range gt.aggs {
 			dst.accs[i].merge(e.accs[i])
 		}
 	}
+	return nil
 }
 
 // rows emits one output row per group: key columns then aggregate results.

@@ -7,9 +7,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datum"
+	"repro/internal/faultfs"
 	"repro/internal/logical"
 	"repro/internal/physical"
 	"repro/internal/storage"
@@ -25,6 +27,8 @@ type Counters struct {
 	Comparisons   int64 // sort/merge comparisons
 	HashOps       int64 // hash table inserts + probes
 	ExchangedRows int64 // rows crossing exchange operators
+	Spills        int64 // spill files written by budget-degraded operators
+	SpillBytes    int64 // bytes written to spill files
 }
 
 // Ctx is the runtime context shared by all operators of one execution.
@@ -46,6 +50,26 @@ type Ctx struct {
 	// by the Ctx and released by Close.
 	Pool    *Pool
 	ownPool bool
+	// Context, when non-nil, cancels the execution: every operator checks it
+	// at batch boundaries (one morsel on the parallel paths, one morsel-sized
+	// stretch of rows on the serial ones), so a canceled or timed-out query
+	// returns the context's error within about one batch of work. Workers
+	// always rejoin their pipeline barrier before the error surfaces — a
+	// canceled query leaks no goroutines and its partial counters and metrics
+	// are still merged.
+	Context context.Context
+	// Mem is the query's memory account (shared by all workers). Sort
+	// buffers, hash-join builds and hash-aggregation tables reserve their
+	// working memory here; when the reservation fails, the operator degrades
+	// to its spilling implementation (external merge sort, grace hash join,
+	// partitioned aggregation). Nil means no accounting.
+	Mem *MemAccount
+	// Faults, when non-nil, injects errors and latency into storage-scan
+	// batches and spill I/O — the fault harness used to prove clean error
+	// propagation at any parallelism degree.
+	Faults *faultfs.Injector
+	// TempDir overrides the directory for spill files (default os.TempDir).
+	TempDir string
 	// Metrics, when non-nil, collects per-operator runtime metrics (EXPLAIN
 	// ANALYZE): actual rows, invocations, morsel batches, wall time, peak
 	// buffered rows and per-worker row counts. Enable with EnableAnalyze.
@@ -57,6 +81,9 @@ type Ctx struct {
 	// the coordinating goroutine. Workers never touch it: per-worker stats
 	// travel through child contexts and are folded in at pipeline barriers.
 	curNode *physical.NodeMetrics
+	// bar is the abort barrier of the runWorkers call this (child) context
+	// belongs to; nil on the coordinating context.
+	bar *barrier
 }
 
 // EnableAnalyze turns on per-operator metrics collection for executions
@@ -74,6 +101,46 @@ func (c *Ctx) noteMem(n int64) {
 	if c.curNode != nil {
 		c.curNode.NoteMem(n)
 	}
+}
+
+// noteMemBytes records a peak-working-memory observation in bytes — the
+// metric EXPLAIN ANALYZE derives from the memory account's reservations.
+func (c *Ctx) noteMemBytes(n int64) {
+	if c.curNode != nil {
+		c.curNode.NoteMemBytes(n)
+	}
+}
+
+// noteSpill records spill activity (files written, bytes) against both the
+// execution counters and the operator currently being analyzed.
+func (c *Ctx) noteSpill(files, bytes int64) {
+	c.Counters.Spills += files
+	c.Counters.SpillBytes += bytes
+	if c.curNode != nil {
+		c.curNode.NoteSpill(files, bytes)
+	}
+}
+
+// canceled returns the context's error once the execution has been canceled
+// or has exceeded its deadline, nil otherwise. Cheap enough for batch
+// boundaries (one atomic load inside Context.Err).
+func (c *Ctx) canceled() error {
+	if c.Context == nil {
+		return nil
+	}
+	return context.Cause(c.Context)
+}
+
+// step is the per-batch governor checkpoint: fault injection on the named
+// operation stream first (so injected latency is felt before cancellation is
+// observed), then cancellation.
+func (c *Ctx) step(op string) error {
+	if c.Faults != nil {
+		if err := c.Faults.Check(op); err != nil {
+			return err
+		}
+	}
+	return c.canceled()
 }
 
 // NewCtx returns a context over the given store and metadata, with a buffer
@@ -103,11 +170,15 @@ func (c *Ctx) workers() int {
 	return 1
 }
 
-// child returns a per-worker context sharing the store and metadata but
+// child returns a per-worker context sharing the store, metadata and the
+// governor state (cancellation context, memory account, fault injector) but
 // owning private counters and a private simulated buffer pool, so workers
-// never race on shared state. Workers run serially inside (Parallelism 1).
+// never race on mutable state. Workers run serially inside (Parallelism 1).
 func (c *Ctx) child() *Ctx {
-	return &Ctx{Store: c.Store, Meta: c.Meta, Buffer: NewPageBuffer(c.Buffer.Cap())}
+	return &Ctx{
+		Store: c.Store, Meta: c.Meta, Buffer: NewPageBuffer(c.Buffer.Cap()),
+		Context: c.Context, Mem: c.Mem, Faults: c.Faults, TempDir: c.TempDir,
+	}
 }
 
 // add folds another worker's counters into c — called only at pipeline
@@ -120,6 +191,8 @@ func (cs *Counters) add(o Counters) {
 	cs.Comparisons += o.Comparisons
 	cs.HashOps += o.HashOps
 	cs.ExchangedRows += o.ExchangedRows
+	cs.Spills += o.Spills
+	cs.SpillBytes += o.SpillBytes
 }
 
 // PageBuffer is a FIFO page cache keyed by (table, page number).

@@ -1,0 +1,44 @@
+package exec
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoBareGoroutinesInExec enforces the resource-governor invariant that
+// every goroutine in this package is launched through the Pool helpers in
+// parallel.go: pool workers are the only place Close can wait on, so a bare
+// `go func` anywhere else could outlive the query and leak past
+// cancellation. New concurrency must go through Pool.submit/runWorkers.
+func TestNoBareGoroutinesInExec(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if name == "parallel.go" {
+			continue // the pool implementation itself
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				t.Errorf("%s: bare go statement — route goroutines through the Pool in parallel.go",
+					fset.Position(g.Pos()))
+			}
+			return true
+		})
+	}
+}

@@ -48,6 +48,19 @@ func (c *Ctx) sortResult(res *Result, by logical.Ordering) error {
 		spec[i] = datum.SortSpec{Col: off, Desc: o.Desc}
 	}
 	c.noteMem(int64(len(res.Rows)))
+	need := rowSetBytes(res.Rows)
+	if err := c.Mem.Grow("sort", need); err != nil {
+		// The sort buffer does not fit the budget: degrade to an external
+		// merge sort, which emits the identical stable order.
+		rows, serr := c.externalSortRows(res.Rows, spec)
+		if serr != nil {
+			return serr
+		}
+		res.Rows = rows
+		return nil
+	}
+	defer c.Mem.Shrink(need)
+	c.noteMemBytes(need)
 	if c.parallel() && len(res.Rows) >= minParallelRows {
 		res.Rows = c.sortRowsParallel(res.Rows, spec)
 		return nil
@@ -61,7 +74,11 @@ func (c *Ctx) sortResult(res *Result, by logical.Ordering) error {
 
 // runPlan executes one operator, metering it when analyze mode is on. The
 // nil check is the entire cost of the instrumentation when analyze is off.
+// Every operator entry doubles as a cancellation checkpoint.
 func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
 	if c.Metrics == nil {
 		return c.execPlan(p)
 	}
@@ -205,7 +222,14 @@ func (c *Ctx) runTableScan(t *physical.TableScan) ([]datum.Row, error) {
 	}
 	var out []datum.Row
 	e := newEnv(t.Cols, nil)
-	for _, r := range tab.Rows() {
+	for i, r := range tab.Rows() {
+		// One checkpoint per batch of MorselSize rows — the same cadence (and
+		// fault-injection op stream) as the parallel scan's morsels.
+		if i%MorselSize == 0 {
+			if err := c.step("scan"); err != nil {
+				return nil, err
+			}
+		}
 		c.Counters.RowsProcessed++
 		pr := projectRow(r, t.ColOrds)
 		if len(t.Filter) > 0 {
@@ -254,7 +278,12 @@ func (c *Ctx) runIndexScan(t *physical.IndexScan) ([]datum.Row, error) {
 	}
 	e := newEnv(t.Cols, nil)
 	var out []datum.Row
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%MorselSize == 0 {
+			if err := c.step("scan"); err != nil {
+				return nil, err
+			}
+		}
 		c.Counters.RowsProcessed++
 		pr := projectRow(tab.Row(id), t.ColOrds)
 		if len(t.Filter) > 0 {
@@ -322,7 +351,14 @@ func (c *Ctx) joinMaterialized(t *logical.Join, left, right *Result) ([]datum.Ro
 	var out []datum.Row
 	rightWidth := len(right.Cols)
 	rightMatched := make([]bool, len(right.Rows))
-	for _, lr := range left.Rows {
+	// Aim for one cancellation check per ~MorselSize processed row pairs.
+	checkEvery := MorselSize/(len(right.Rows)+1) + 1
+	for li, lr := range left.Rows {
+		if li%checkEvery == 0 {
+			if err := c.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		for ri, rr := range right.Rows {
 			c.Counters.RowsProcessed++
@@ -397,7 +433,12 @@ func (c *Ctx) runINLJoin(t *physical.INLJoin) ([]datum.Row, error) {
 	e := newEnv(combined, nil)
 	innerWidth := len(t.Cols)
 	var out []datum.Row
-	for _, lr := range left {
+	for li, lr := range left {
+		if li%MorselSize == 0 {
+			if err := c.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		// NULL keys never match under SQL equality.
 		key := make(datum.Row, len(keyOffsets))
 		nullKey := false
@@ -475,7 +516,12 @@ func (c *Ctx) runMergeJoin(t *physical.MergeJoin) ([]datum.Row, error) {
 	var out []datum.Row
 
 	li, ri := 0, 0
-	for li < len(left) {
+	for iters := 0; li < len(left); iters++ {
+		if iters%MorselSize == 0 {
+			if err := c.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		lr := left[li]
 		if hasNullAt(lr, lOff) {
 			// NULL keys match nothing.
@@ -590,6 +636,14 @@ func (c *Ctx) runHashJoin(t *physical.HashJoin) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	buildBytes := rowSetBytes(right)
+	if err := c.Mem.Grow("hash join build", buildBytes); err != nil {
+		// The build side does not fit the budget: degrade to a grace hash
+		// join, which partitions it to disk and emits the identical rows.
+		return c.graceHashJoin(t, left, right, lOff, rOff)
+	}
+	defer c.Mem.Shrink(buildBytes)
+	c.noteMemBytes(buildBytes)
 	if c.parallel() && len(left)+len(right) >= minParallelRows {
 		return c.runHashJoinParallel(t, left, right, lOff, rOff)
 	}
@@ -609,7 +663,12 @@ func (c *Ctx) runHashJoin(t *physical.HashJoin) ([]datum.Row, error) {
 	rightWidth := len(rightLayout)
 	rightMatched := make([]bool, len(right))
 	var out []datum.Row
-	for _, lr := range left {
+	for li, lr := range left {
+		if li%MorselSize == 0 {
+			if err := c.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		if !hasNullAt(lr, lOff) {
 			c.Counters.HashOps++
@@ -674,12 +733,30 @@ func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs
 		return nil, err
 	}
 	if hash && c.parallel() && len(in) >= minParallelRows {
-		return c.runGroupByParallel(in, layout, keyOff, groupCols, aggs)
+		out, err := c.runGroupByParallel(in, layout, keyOff, groupCols, aggs)
+		if err != nil && isBudgetErr(err) {
+			// Thread-local tables did not fit: degrade to the (serial)
+			// partition-and-spill aggregation.
+			return c.spillGroupBy(in, layout, keyOff, groupCols, aggs)
+		}
+		return out, err
 	}
 	gt := newGroupTable(len(groupCols), aggs)
+	if hash {
+		// Stream aggregation over sorted input holds one group at a time in a
+		// real iterator engine; only the hash table is budgeted working memory.
+		gt.mem = c.Mem
+		gt.memOp = "hash aggregation"
+	}
+	defer gt.release()
 	e := newEnv(layout, nil)
 	ectx := c.evalCtx(e)
-	for _, r := range in {
+	for ri, r := range in {
+		if ri%MorselSize == 0 {
+			if err := c.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		c.Counters.RowsProcessed++
 		if hash {
 			c.Counters.HashOps++
@@ -701,8 +778,15 @@ func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs
 			}
 			args[i] = v
 		}
-		gt.add(key, key.Hash(seqOffsets(len(key))), args)
+		if err := gt.add(key, key.Hash(seqOffsets(len(key))), args); err != nil {
+			if isBudgetErr(err) {
+				gt.release()
+				return c.spillGroupBy(in, layout, keyOff, groupCols, aggs)
+			}
+			return nil, err
+		}
 	}
 	c.noteMem(int64(len(gt.order)))
+	c.noteMemBytes(gt.charged)
 	return gt.rows(), nil
 }

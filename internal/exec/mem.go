@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrMemoryBudgetExceeded is the sentinel for queries that cannot run within
+// Options.MemBudget even after spilling; match it with errors.Is. The
+// concrete error carries the operator and the sizes involved.
+var ErrMemoryBudgetExceeded = errors.New("exec: memory budget exceeded")
+
+// BudgetExceededError reports the operator whose working memory cannot fit
+// the budget even in its degraded (spilling) mode. It unwraps to
+// ErrMemoryBudgetExceeded.
+type BudgetExceededError struct {
+	// Op names the operator that could not fit (e.g. "hash join build
+	// partition", "hash aggregation partition").
+	Op string
+	// NeedBytes is the reservation that failed; BudgetBytes the configured
+	// cap; UsedBytes the account's usage at the time.
+	NeedBytes, BudgetBytes, UsedBytes int64
+}
+
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("exec: memory budget exceeded: %s needs %d bytes (budget %d, in use %d)",
+		e.Op, e.NeedBytes, e.BudgetBytes, e.UsedBytes)
+}
+
+// Unwrap makes errors.Is(err, ErrMemoryBudgetExceeded) hold.
+func (e *BudgetExceededError) Unwrap() error { return ErrMemoryBudgetExceeded }
+
+// MemAccount is the per-query memory account of the resource governor
+// (§5.2's buffer-dependent operator costs made a runtime contract): every
+// memory-intensive operator — hash-join builds, hash-aggregation tables,
+// sort buffers — reserves its working memory here before using it, and
+// releases it when done. One account is shared by all workers of a query, so
+// all methods are atomic. A zero Budget means accounting only (no cap).
+type MemAccount struct {
+	used   atomic.Int64
+	peak   atomic.Int64
+	budget int64
+}
+
+// NewMemAccount returns an account capped at budget bytes (<= 0 = unlimited).
+func NewMemAccount(budget int64) *MemAccount {
+	if budget < 0 {
+		budget = 0
+	}
+	return &MemAccount{budget: budget}
+}
+
+// Budget returns the configured cap in bytes (0 = unlimited).
+func (a *MemAccount) Budget() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.budget
+}
+
+// Used returns the bytes currently reserved.
+func (a *MemAccount) Used() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.used.Load()
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (a *MemAccount) Peak() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.peak.Load()
+}
+
+// Available returns how many more bytes fit under the budget; unlimited
+// accounts (and nil) report a large positive number.
+func (a *MemAccount) Available() int64 {
+	if a == nil || a.budget <= 0 {
+		return int64(1) << 62
+	}
+	av := a.budget - a.used.Load()
+	if av < 0 {
+		av = 0
+	}
+	return av
+}
+
+// Grow reserves n bytes, failing with a *BudgetExceededError (wrapping
+// ErrMemoryBudgetExceeded) when the reservation would exceed the budget.
+// Operators that can degrade respond to the failure by spilling; operators
+// that cannot propagate it. A nil account always succeeds.
+func (a *MemAccount) Grow(op string, n int64) error {
+	if a == nil || n <= 0 {
+		return nil
+	}
+	for {
+		cur := a.used.Load()
+		next := cur + n
+		if a.budget > 0 && next > a.budget {
+			return &BudgetExceededError{Op: op, NeedBytes: n, BudgetBytes: a.budget, UsedBytes: cur}
+		}
+		if a.used.CompareAndSwap(cur, next) {
+			a.notePeak(next)
+			return nil
+		}
+	}
+}
+
+// GrowFloor reserves n more bytes for an operator that has already reserved
+// have bytes, granting the reservation unconditionally while have+n stays
+// within floor — the operator's minimal working set. Degraded (spilling)
+// operators use it so that arbitrarily small budgets still let one partition
+// make progress; reservations beyond the floor must fit the budget like Grow,
+// so a partition that outgrows both the floor and the budget still fails with
+// the typed error.
+func (a *MemAccount) GrowFloor(op string, n, have, floor int64) error {
+	if a == nil || n <= 0 {
+		return nil
+	}
+	if have+n <= floor {
+		a.notePeak(a.used.Add(n))
+		return nil
+	}
+	return a.Grow(op, n)
+}
+
+// Shrink releases n bytes previously reserved with Grow.
+func (a *MemAccount) Shrink(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	if next := a.used.Add(-n); next < 0 {
+		// Release imbalance is a programming error; clamp rather than poison
+		// subsequent queries on a shared account.
+		a.used.Store(0)
+	}
+}
+
+// NotePeak records a transient high-water observation of n bytes above the
+// current usage without reserving it — used at materialization points
+// (exchange buffers) that must complete regardless of the budget, so that
+// Peak and EXPLAIN ANALYZE stay honest about them.
+func (a *MemAccount) NotePeak(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.notePeak(a.used.Load() + n)
+}
+
+func (a *MemAccount) notePeak(v int64) {
+	for {
+		p := a.peak.Load()
+		if v <= p || a.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// entryOverhead is the modeled per-row bookkeeping cost (hash-table entry,
+// run index, group pointer) charged on top of the row's data bytes.
+const entryOverhead = 24

@@ -241,7 +241,9 @@ func (c *Ctx) naiveGroupBy(t *logical.GroupBy, outer *env) (*Result, error) {
 			args[i] = v
 		}
 		c.Counters.HashOps++
-		gt.add(key, key.Hash(seqOffsets(len(key))), args)
+		if err := gt.add(key, key.Hash(seqOffsets(len(key))), args); err != nil {
+			return nil, err
+		}
 	}
 	// Layout is group cols then aggs, matching gt.rows().
 	out := &Result{

@@ -18,10 +18,12 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/datum"
 	"repro/internal/logical"
@@ -38,11 +40,15 @@ const MorselSize = 1024
 const minParallelRows = 2 * MorselSize
 
 // Pool is a fixed-size worker pool shared by all parallel operators of one or
-// more executions. Workers run until Close.
+// more executions. Workers run until Close. All goroutines of the parallel
+// engine live here: operators never spawn bare goroutines (enforced by
+// TestNoBareGoroutinesInExec), which is what makes the zero-leak guarantee
+// checkable — after Close returns, every pool goroutine has exited.
 type Pool struct {
 	size int
 	jobs chan func()
 	once sync.Once
+	wg   sync.WaitGroup
 }
 
 // NewPool starts a pool with the given number of workers (<= 0 means
@@ -52,8 +58,10 @@ func NewPool(size int) *Pool {
 		size = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{size: size, jobs: make(chan func())}
+	p.wg.Add(size)
 	for i := 0; i < size; i++ {
 		go func() {
+			defer p.wg.Done()
 			for f := range p.jobs {
 				f()
 			}
@@ -65,10 +73,39 @@ func NewPool(size int) *Pool {
 // Size returns the number of workers.
 func (p *Pool) Size() int { return p.size }
 
-// Close releases the pool's workers. Safe to call more than once.
-func (p *Pool) Close() { p.once.Do(func() { close(p.jobs) }) }
+// Close releases the pool's workers and blocks until they have all exited,
+// so callers can assert the goroutine count is back to baseline. Safe to
+// call more than once.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}
 
 func (p *Pool) submit(f func()) { p.jobs <- f }
+
+// barrier is the shared abort state of one runWorkers call: the first
+// failing worker raises it, and the others stop claiming work at their next
+// morsel boundary instead of finishing the pipeline nobody will read.
+type barrier struct{ failed atomic.Bool }
+
+func (b *barrier) abort()        { b.failed.Store(true) }
+func (b *barrier) aborted() bool { return b != nil && b.failed.Load() }
+
+// errBarrierAborted is returned by workers that stopped early because a
+// sibling already failed. It never wins error selection and never escapes
+// runWorkers.
+var errBarrierAborted = errors.New("exec: barrier aborted by sibling failure")
+
+// seqError tags a worker error with its deterministic sequence position —
+// the morsel index for morsel-driven loops — so error selection at the
+// barrier does not depend on goroutine scheduling.
+type seqError struct {
+	seq int
+	err error
+}
+
+func (e *seqError) Error() string { return e.err.Error() }
+func (e *seqError) Unwrap() error { return e.err }
 
 // ensurePool returns the shared pool, creating (and owning) one on demand.
 func (c *Ctx) ensurePool() *Pool {
@@ -81,8 +118,15 @@ func (c *Ctx) ensurePool() *Pool {
 
 // runWorkers runs fn(w, workerCtx) for w in [0, n) on the pool and blocks
 // until all return — a pipeline barrier. Each worker gets a private child Ctx;
-// the children's counters are merged into c at the barrier. Worker panics are
-// converted to errors so a failing morsel cannot kill the process.
+// the children's counters are merged into c at the barrier (on success AND on
+// failure, so canceled queries still report their partial work). Worker
+// panics are converted to errors so a failing morsel cannot kill the process.
+//
+// Error discipline: the first failure (by deterministic sequence position —
+// morsel index when fn tags errors with seqError, worker index otherwise)
+// wins; later failures are dropped, and workers that observed the barrier's
+// abort flag and stopped early never contribute an error at all. The same
+// error therefore surfaces on every run regardless of goroutine scheduling.
 func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 	if n < 1 {
 		n = 1
@@ -90,20 +134,26 @@ func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 	pool := c.ensurePool()
 	children := make([]*Ctx, n)
 	errs := make([]error, n)
+	bar := &barrier{}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for w := 0; w < n; w++ {
 		w := w
 		wc := c.child()
+		wc.bar = bar
 		children[w] = wc
 		pool.submit(func() {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[w] = fmt.Errorf("exec: worker %d panic: %v", w, r)
+					bar.abort()
 				}
 			}()
-			errs[w] = fn(w, wc)
+			if err := fn(w, wc); err != nil {
+				errs[w] = err
+				bar.abort()
+			}
 		})
 	}
 	wg.Wait()
@@ -116,12 +166,29 @@ func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 			c.curNode.AddWorkerRows(w, wc.Counters.RowsProcessed)
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return firstError(errs)
+}
+
+// firstError picks the winning error from a barrier: the smallest sequence
+// position (ties broken by worker index, which only matters for untagged
+// errors), skipping abort sentinels.
+func firstError(errs []error) error {
+	best, bestSeq := error(nil), 0
+	for w, err := range errs {
+		if err == nil || errors.Is(err, errBarrierAborted) {
+			continue
+		}
+		seq := w
+		var se *seqError
+		if errors.As(err, &se) {
+			seq = se.seq
+			err = se.err
+		}
+		if best == nil || seq < bestSeq {
+			best, bestSeq = err, seq
 		}
 	}
-	return nil
+	return best
 }
 
 func numMorsels(n int) int { return (n + MorselSize - 1) / MorselSize }
@@ -129,6 +196,12 @@ func numMorsels(n int) int { return (n + MorselSize - 1) / MorselSize }
 // forMorsels fans n items out as morsels over the pool. Morsels are assigned
 // by static striding (worker w takes morsels w, w+W, ...), which keeps every
 // run deterministic. fn receives the morsel index and its [lo, hi) bounds.
+//
+// Each morsel boundary is a governor checkpoint: workers stop when the query
+// is canceled or a sibling worker has already failed, so errors and
+// cancellations surface within about one morsel of work. Errors are tagged
+// with their morsel index, making "first error wins" mean first in morsel
+// order, not first in wall-clock order.
 func (c *Ctx) forMorsels(n int, fn func(wc *Ctx, m, lo, hi int) error) error {
 	nm := numMorsels(n)
 	if nm == 0 {
@@ -143,13 +216,19 @@ func (c *Ctx) forMorsels(n int, fn func(wc *Ctx, m, lo, hi int) error) error {
 	}
 	return c.runWorkers(w, func(wk int, wc *Ctx) error {
 		for m := wk; m < nm; m += w {
+			if wc.bar.aborted() {
+				return errBarrierAborted
+			}
+			if err := wc.canceled(); err != nil {
+				return &seqError{seq: m, err: err}
+			}
 			lo := m * MorselSize
 			hi := lo + MorselSize
 			if hi > n {
 				hi = n
 			}
 			if err := fn(wc, m, lo, hi); err != nil {
-				return err
+				return &seqError{seq: m, err: err}
 			}
 		}
 		return nil
@@ -180,6 +259,9 @@ func concatMorsels(outs [][]datum.Row) []datum.Row {
 func (c *Ctx) scanRowsParallel(rows []datum.Row, cols []logical.ColumnID, colOrds []int, filter []logical.Scalar) ([]datum.Row, error) {
 	outs := make([][]datum.Row, numMorsels(len(rows)))
 	err := c.forMorsels(len(rows), func(wc *Ctx, m, lo, hi int) error {
+		if err := wc.step("scan"); err != nil {
+			return err
+		}
 		e := newEnv(cols, nil)
 		var out []datum.Row
 		for _, r := range rows[lo:hi] {
@@ -297,6 +379,14 @@ func (c *Ctx) runHashJoinParallel(t *physical.HashJoin, left, right []datum.Row,
 	err = c.runWorkers(nParts, func(w int, wc *Ctx) error {
 		b := make(map[uint64][]int)
 		for m := 0; m < nmBuild; m++ {
+			if m%64 == 0 {
+				if wc.bar.aborted() {
+					return errBarrierAborted
+				}
+				if err := wc.canceled(); err != nil {
+					return err
+				}
+			}
 			for _, i := range parts[m][w] {
 				h := right[i].Hash(rOff)
 				b[h] = append(b[h], i)
@@ -565,6 +655,9 @@ func (c *Ctx) runINLJoinParallel(t *physical.INLJoin, left []datum.Row, tab *sto
 func (c *Ctx) fetchRowsParallel(tab *storage.Table, ids []int, cols []logical.ColumnID, colOrds []int, filter []logical.Scalar) ([]datum.Row, error) {
 	outs := make([][]datum.Row, numMorsels(len(ids)))
 	err := c.forMorsels(len(ids), func(wc *Ctx, m, lo, hi int) error {
+		if err := wc.step("scan"); err != nil {
+			return err
+		}
 		e := newEnv(cols, nil)
 		var out []datum.Row
 		for _, id := range ids[lo:hi] {
@@ -604,10 +697,20 @@ func (c *Ctx) runGroupByParallel(in []datum.Row, layout []logical.ColumnID, keyO
 	tables := make([]*groupTable, nW)
 	err := c.runWorkers(nW, func(w int, wc *Ctx) error {
 		gt := newGroupTable(len(groupCols), aggs)
+		// All thread-local tables draw on the query's shared account; the
+		// caller degrades to spillGroupBy when any of them trips the budget.
+		gt.mem = c.Mem
+		gt.memOp = "hash aggregation"
 		tables[w] = gt
 		e := newEnv(layout, nil)
 		ectx := wc.evalCtx(e)
 		for m := w; m < nm; m += nW {
+			if wc.bar.aborted() {
+				return errBarrierAborted
+			}
+			if err := wc.canceled(); err != nil {
+				return &seqError{seq: m, err: err}
+			}
 			lo := m * MorselSize
 			hi := lo + MorselSize
 			if hi > len(in) {
@@ -633,28 +736,46 @@ func (c *Ctx) runGroupByParallel(in []datum.Row, layout []logical.ColumnID, keyO
 					}
 					args[i] = v
 				}
-				gt.add(key, key.Hash(seqOffsets(len(key))), args)
+				if err := gt.add(key, key.Hash(seqOffsets(len(key))), args); err != nil {
+					return &seqError{seq: m, err: err}
+				}
 			}
 		}
 		return nil
 	})
+	release := func() {
+		for _, gt := range tables {
+			if gt != nil {
+				gt.release()
+			}
+		}
+	}
+	defer release()
 	if err != nil {
 		return nil, err
 	}
 	// Peak memory: the thread-local tables coexist until the merge completes.
 	var partial int64
+	var partialBytes int64
 	for _, gt := range tables {
 		if gt != nil {
 			partial += int64(len(gt.order))
+			partialBytes += gt.charged
 		}
 	}
 	final := newGroupTable(len(groupCols), aggs)
+	final.mem = c.Mem
+	final.memOp = "hash aggregation"
+	defer final.release()
 	for _, gt := range tables {
 		if gt != nil {
-			final.mergeFrom(gt)
+			if err := final.mergeFrom(gt); err != nil {
+				return nil, err
+			}
 		}
 	}
 	c.noteMem(partial + int64(len(final.order)))
+	c.noteMemBytes(partialBytes + final.charged)
 	return final.rows(), nil
 }
 
@@ -743,6 +864,9 @@ func (c *Ctx) runExchange(t *physical.Exchange) ([]datum.Row, error) {
 		return nil, err
 	}
 	c.Counters.ExchangedRows += int64(len(in))
+	// The exchange buffer is a materialization point: it must complete
+	// regardless of the budget, so its footprint is observed, not reserved.
+	c.Mem.NotePeak(rowSetBytes(in))
 	if !c.parallel() || len(in) < minParallelRows {
 		return in, nil
 	}

@@ -93,6 +93,7 @@ func All() []Table {
 		E20JointDistribution(),
 		E21ParallelExecution(),
 		E22AnalyzeFeedback(),
+		E23Robustness(),
 	}
 }
 

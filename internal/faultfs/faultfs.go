@@ -1,0 +1,117 @@
+// Package faultfs is the fault-injection layer of the resource governor: a
+// deterministic, thread-safe injector of errors and latency into named I/O
+// operation streams (storage scan batches, spill-file create/write/read).
+// The executor consults the injector at every batch boundary and spill I/O
+// call, so tests can prove that a failure raised by any worker, at any
+// parallelism degree, propagates to the caller exactly once, promptly, and
+// without leaking goroutines.
+//
+// Rules trigger on a per-operation counter: "fail the Nth scan batch",
+// "delay every spill write by 1ms". Counters are global across workers (one
+// atomic stream per op name), so a rule fires exactly once no matter which
+// worker happens to hit the Nth operation.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by triggered rules that do not
+// carry their own; tests match it with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Rule configures one fault: after After occurrences of Op (1-based: After=1
+// fires on the first), return Err (or ErrInjected when nil). Every, when >0,
+// re-fires the rule each Every further occurrences. Latency, when >0, is
+// slept on every occurrence of Op whether or not the rule fires.
+type Rule struct {
+	// Op names the operation stream the rule watches (e.g. "scan",
+	// "spill.write"). An empty Op matches every operation.
+	Op string
+	// After is the 1-based occurrence count at which the rule fires.
+	After int64
+	// Every re-fires the rule periodically after the first firing (0 = once).
+	Every int64
+	// Err is the injected error (nil = ErrInjected).
+	Err error
+	// Latency is injected on every matching operation.
+	Latency time.Duration
+}
+
+// Injector applies fault rules to operation streams. The zero value injects
+// nothing; a nil *Injector is safe and free to check.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []Rule
+	counts map[string]int64
+}
+
+// New returns an injector with the given rules.
+func New(rules ...Rule) *Injector {
+	return &Injector{rules: rules, counts: make(map[string]int64)}
+}
+
+// Add appends a rule.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.counts == nil {
+		in.counts = make(map[string]int64)
+	}
+	in.rules = append(in.rules, r)
+}
+
+// Count reports how many times op has been checked.
+func (in *Injector) Count(op string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// Check records one occurrence of op, applies any configured latency, and
+// returns the injected error when a rule fires. Safe for concurrent use.
+func (in *Injector) Check(op string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	if in.counts == nil {
+		in.counts = make(map[string]int64)
+	}
+	in.counts[op]++
+	n := in.counts[op]
+	var sleep time.Duration
+	var fired error
+	for _, r := range in.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Latency > sleep {
+			sleep = r.Latency
+		}
+		if r.After > 0 && fires(n, r.After, r.Every) && fired == nil {
+			fired = r.Err
+			if fired == nil {
+				fired = ErrInjected
+			}
+		}
+	}
+	in.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return fired
+}
+
+// fires reports whether occurrence n triggers a rule at (after, every).
+func fires(n, after, every int64) bool {
+	if n == after {
+		return true
+	}
+	return every > 0 && n > after && (n-after)%every == 0
+}

@@ -1,0 +1,116 @@
+package faultfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if err := in.Check("scan"); err != nil {
+		t.Fatalf("nil injector injected %v", err)
+	}
+	if in.Count("scan") != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestRuleFiresAtNthOccurrence(t *testing.T) {
+	in := New(Rule{Op: "scan", After: 3})
+	for i := 1; i <= 5; i++ {
+		err := in.Check("scan")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("occurrence 3: got %v, want ErrInjected", err)
+			}
+		} else if err != nil {
+			t.Fatalf("occurrence %d: unexpected %v", i, err)
+		}
+	}
+	if in.Count("scan") != 5 {
+		t.Fatalf("count = %d, want 5", in.Count("scan"))
+	}
+}
+
+func TestRuleEveryRefires(t *testing.T) {
+	in := New(Rule{Op: "spill.write", After: 2, Every: 3})
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if in.Check("spill.write") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 5, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestCustomErrorAndOpScoping(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(Rule{Op: "scan", After: 1, Err: boom})
+	if err := in.Check("spill.read"); err != nil {
+		t.Fatalf("unscoped op injected %v", err)
+	}
+	if err := in.Check("scan"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestEmptyOpMatchesEverything(t *testing.T) {
+	in := New(Rule{After: 1, Every: 1})
+	for _, op := range []string{"scan", "spill.create", "anything"} {
+		if in.Check(op) == nil {
+			t.Fatalf("op %q not injected by wildcard rule", op)
+		}
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	in := New(Rule{Op: "scan", Latency: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Check("scan"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+}
+
+// TestConcurrentCountersFireOnce: the counter stream is global across
+// goroutines, so an After=N rule fires exactly once no matter which worker
+// hits the Nth occurrence.
+func TestConcurrentCountersFireOnce(t *testing.T) {
+	in := New(Rule{Op: "scan", After: 500})
+	const workers, perWorker = 8, 250
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var fired int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if in.Check("scan") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("rule fired %d times, want exactly once", fired)
+	}
+	if n := in.Count("scan"); n != workers*perWorker {
+		t.Fatalf("count = %d, want %d", n, workers*perWorker)
+	}
+}

@@ -29,6 +29,14 @@ type NodeMetrics struct {
 	// PeakMemRows is the peak number of buffered rows the node held at once
 	// (hash-table build entries, group-table entries, sort buffers).
 	PeakMemRows int64
+	// PeakMemBytes is the peak working memory the node reserved from the
+	// query's memory account, in modeled bytes.
+	PeakMemBytes int64
+	// Spills counts temp files (sort runs, join/aggregation partitions) the
+	// node wrote when its working memory exceeded the budget.
+	Spills int64
+	// SpillBytes is the total bytes written to those temp files.
+	SpillBytes int64
 	// WorkerRows are per-worker processed-row counts for parallel operators
 	// (per-partition row counts for Exchange) — non-uniform values expose
 	// partition skew.
@@ -40,6 +48,19 @@ func (m *NodeMetrics) NoteMem(n int64) {
 	if n > m.PeakMemRows {
 		m.PeakMemRows = n
 	}
+}
+
+// NoteMemBytes records a reserved-working-memory observation, keeping the peak.
+func (m *NodeMetrics) NoteMemBytes(n int64) {
+	if n > m.PeakMemBytes {
+		m.PeakMemBytes = n
+	}
+}
+
+// NoteSpill accumulates spill activity: files temp files holding bytes bytes.
+func (m *NodeMetrics) NoteSpill(files, bytes int64) {
+	m.Spills += files
+	m.SpillBytes += bytes
 }
 
 // AddWorkerRows accumulates rows processed by worker slot w.
@@ -137,6 +158,12 @@ func formatAnalyzeNode(sb *strings.Builder, p Plan, md *logical.Metadata, rm *Ru
 		}
 		if m.PeakMemRows > 0 {
 			fmt.Fprintf(sb, " mem_rows=%d", m.PeakMemRows)
+		}
+		if m.PeakMemBytes > 0 {
+			fmt.Fprintf(sb, " mem_bytes=%d", m.PeakMemBytes)
+		}
+		if m.Spills > 0 {
+			fmt.Fprintf(sb, " spills=%d spill_bytes=%d", m.Spills, m.SpillBytes)
 		}
 		if len(m.WorkerRows) > 0 {
 			parts := make([]string, len(m.WorkerRows))

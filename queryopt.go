@@ -17,6 +17,7 @@
 package queryopt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/datum"
 	"repro/internal/exec"
+	"repro/internal/faultfs"
 	"repro/internal/logical"
 	"repro/internal/matview"
 	"repro/internal/parallel"
@@ -94,7 +96,21 @@ type Options struct {
 	// actual rows) observations recorded by analyzed executions (EXPLAIN
 	// ANALYZE / QueryAnalyze). 0 selects the default of 1024 entries.
 	FeedbackCapacity int
+	// MemBudget caps each query's working memory (hash-join builds,
+	// hash-aggregation tables, sort buffers) in modeled bytes. Operators that
+	// exceed it degrade gracefully — external-merge sort, grace hash join,
+	// partitioned aggregation spill to temp files — and produce bit-identical
+	// results; a query that cannot fit even one spill partition fails with an
+	// error matching ErrMemoryBudgetExceeded. 0 means unlimited.
+	MemBudget int64
+	// TempDir is where spill files are created (empty = os.TempDir()).
+	TempDir string
 }
+
+// ErrMemoryBudgetExceeded is returned (wrapped, match with errors.Is) by
+// queries whose working memory cannot fit Options.MemBudget even after
+// spilling to disk.
+var ErrMemoryBudgetExceeded = exec.ErrMemoryBudgetExceeded
 
 // Engine is an embedded single-process database engine.
 type Engine struct {
@@ -109,6 +125,9 @@ type Engine struct {
 	// executions — the execution-feedback substrate (§5's statistics loop
 	// closed with runtime truth).
 	feedback *physical.FeedbackRing
+	// faults injects errors/latency into scan batches and spill I/O of every
+	// query this engine runs — the fault harness the robustness tests drive.
+	faults *faultfs.Injector
 }
 
 type udf struct {
@@ -170,6 +189,13 @@ type ExecStats struct {
 	SubqueryEvals int64
 	HashOps       int64
 	Comparisons   int64
+	// Spills counts temp files written by operators that degraded to disk
+	// under the memory budget; SpillBytes is their total size.
+	Spills     int64
+	SpillBytes int64
+	// PeakMemBytes is the query's working-memory high-water mark against the
+	// memory account (reserved plus observed materialization points).
+	PeakMemBytes int64
 }
 
 // RegisterPredicate registers a user-defined predicate callable from SQL
@@ -190,11 +216,20 @@ func (e *Engine) RegisterPredicate(name string, perTupleCost, selectivity float6
 
 // Exec parses and executes one SQL statement.
 func (e *Engine) Exec(text string) (*Result, error) {
+	return e.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec under a context: cancellation and deadlines propagate
+// to every execution goroutine, which observe them at batch boundaries and
+// unwind promptly (the error matches context.Canceled or
+// context.DeadlineExceeded). Partial metrics collected before the
+// cancellation are still merged; no goroutines are leaked.
+func (e *Engine) ExecContext(ctx context.Context, text string) (*Result, error) {
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	return e.execStmt(stmt, false)
+	return e.execStmt(ctx, stmt, false)
 }
 
 // MustExec is Exec for setup code paths; it panics on error.
@@ -219,7 +254,7 @@ func (e *Engine) Explain(text string) (string, error) {
 	return sb.String(), nil
 }
 
-func (e *Engine) execStmt(stmt sql.Statement, explain bool) (*Result, error) {
+func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, explain bool) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sql.CreateTableStmt:
 		return e.createTable(t)
@@ -237,7 +272,7 @@ func (e *Engine) execStmt(stmt sql.Statement, explain bool) (*Result, error) {
 			if !ok {
 				return nil, fmt.Errorf("queryopt: EXPLAIN ANALYZE supports SELECT statements only")
 			}
-			res, pa, err := e.run(sel, false, true)
+			res, pa, err := e.run(ctx, sel, false, true)
 			if err != nil {
 				return nil, err
 			}
@@ -255,9 +290,9 @@ func (e *Engine) execStmt(stmt sql.Statement, explain bool) (*Result, error) {
 			}
 			return out, nil
 		}
-		return e.execStmt(t.Stmt, true)
+		return e.execStmt(ctx, t.Stmt, true)
 	case *sql.SelectStmt:
-		return e.query(t, explain)
+		return e.query(ctx, t, explain)
 	}
 	return nil, fmt.Errorf("queryopt: unsupported statement %T", stmt)
 }
@@ -415,8 +450,8 @@ func (e *Engine) Build(sel *sql.SelectStmt) (*logical.Query, error) {
 	return q, nil
 }
 
-func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
-	res, _, err := e.run(sel, explain, false)
+func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt, explain bool) (*Result, error) {
+	res, _, err := e.run(ctx, sel, explain, false)
 	return res, err
 }
 
@@ -424,7 +459,7 @@ func (e *Engine) query(sel *sql.SelectStmt, explain bool) (*Result, error) {
 // execution collects per-operator runtime metrics, the metrics tree is
 // returned alongside the result, and every (node, est, actual) pair is
 // recorded into the engine's feedback ring.
-func (e *Engine) run(sel *sql.SelectStmt, explain, analyze bool) (*Result, *PlanAnalysis, error) {
+func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze bool) (*Result, *PlanAnalysis, error) {
 	q, err := e.Build(sel)
 	if err != nil {
 		return nil, nil, err
@@ -448,12 +483,12 @@ func (e *Engine) run(sel *sql.SelectStmt, explain, analyze bool) (*Result, *Plan
 			return nil, nil, fmt.Errorf("queryopt: EXPLAIN ANALYZE requires an optimized plan (reference mode executes logical trees)")
 		}
 		logical.PruneColumns(q)
-		ctx := exec.NewCtx(e.store, q.Meta)
-		res, err := ctx.RunQuery(q)
+		ec := e.newExecCtx(ctx, q.Meta)
+		res, err := ec.RunQuery(q)
 		if err != nil {
 			return nil, nil, err
 		}
-		return e.finish(q, nil, res, ctx, ""), nil, nil
+		return e.finish(q, nil, res, ec, ""), nil, nil
 	}
 
 	var bestPlan physical.Plan
@@ -495,29 +530,42 @@ func (e *Engine) run(sel *sql.SelectStmt, explain, analyze bool) (*Result, *Plan
 		res.UsedMaterializedView = bestMV
 		return res, nil, nil
 	}
-	ctx := exec.NewCtx(e.store, bestQ.Meta)
+	ec := e.newExecCtx(ctx, bestQ.Meta)
 	if e.opts.Parallelism > 1 {
-		ctx.Parallelism = e.opts.Parallelism
+		ec.Parallelism = e.opts.Parallelism
 		if e.pool == nil {
 			e.pool = exec.NewPool(e.opts.Parallelism)
 		}
-		ctx.Pool = e.pool
+		ec.Pool = e.pool
 	}
 	var metrics *physical.RunMetrics
 	if analyze {
-		metrics = ctx.EnableAnalyze()
+		metrics = ec.EnableAnalyze()
 	}
-	res, err := exec.RunPlanQuery(bestPlan, bestQ, ctx)
+	res, err := exec.RunPlanQuery(bestPlan, bestQ, ec)
 	if err != nil {
 		return nil, nil, err
 	}
-	out := e.finish(bestQ, bestPlan, res, ctx, bestMV)
+	out := e.finish(bestQ, bestPlan, res, ec, bestMV)
 	var pa *PlanAnalysis
 	if analyze {
 		pa = buildAnalysis(bestPlan, bestQ.Meta, metrics)
 		e.feedback.RecordPlan(bestPlan, bestQ.Meta, metrics)
 	}
 	return out, pa, nil
+}
+
+// newExecCtx builds the execution context for one query under the engine's
+// resource-governor options: the caller's context for cancellation and
+// deadlines, a fresh per-query memory account capped at MemBudget, and the
+// spill directory.
+func (e *Engine) newExecCtx(ctx context.Context, meta *logical.Metadata) *exec.Ctx {
+	ec := exec.NewCtx(e.store, meta)
+	ec.Context = ctx
+	ec.Mem = exec.NewMemAccount(e.opts.MemBudget)
+	ec.TempDir = e.opts.TempDir
+	ec.Faults = e.faults
+	return ec
 }
 
 // costModel resolves the engine's cost model (options override or default).
@@ -559,6 +607,9 @@ func (e *Engine) finish(q *logical.Query, plan physical.Plan, res *exec.Result, 
 			SubqueryEvals: ctx.Counters.SubqueryEvals,
 			HashOps:       ctx.Counters.HashOps,
 			Comparisons:   ctx.Counters.Comparisons,
+			Spills:        ctx.Counters.Spills,
+			SpillBytes:    ctx.Counters.SpillBytes,
+			PeakMemBytes:  ctx.Mem.Peak(),
 		},
 	}
 	if plan != nil {
