@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check
+.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench bench-smoke
 
 build:
 	go build ./...
@@ -32,6 +32,18 @@ analyze-bench:
 # cancellation latency; writes BENCH_robustness.json.
 robustness-bench:
 	go run ./cmd/benchharness robustness
+
+# Row-vs-vectorized execution of identical plans (scan+filter, hash agg,
+# hash join); writes BENCH_vectorized.json. E24 at full size.
+vectorized-bench:
+	go run ./cmd/benchharness vectorized
+
+# bench-smoke is the fast perf gate: a reduced-size E24 run (row-vs-vectorized
+# must still report identical results) plus the executor suite under the race
+# detector. CI runs this on every push; it finishes in well under a minute.
+bench-smoke:
+	go run ./cmd/benchharness vectorized 20000
+	go test -race -count=1 ./internal/exec/...
 
 # Fault-injection, cancellation, spill and goroutine-leak suites under the
 # race detector at a fixed GOMAXPROCS, so worker interleavings are exercised

@@ -42,6 +42,8 @@ type NodeAnalysis struct {
 	Invocations int64
 	// Batches counts morsel batches processed by parallel paths.
 	Batches int64
+	// Vectorized reports that the node ran on the columnar batch path.
+	Vectorized bool
 	// WallNanos is inclusive wall time (node plus inputs); SelfNanos is the
 	// node's own share after subtracting executed children.
 	WallNanos, SelfNanos int64
@@ -81,6 +83,7 @@ func buildNodeAnalysis(p physical.Plan, md *logical.Metadata, rm *physical.RunMe
 		n.QError = physical.QError(est, float64(m.ActualRows))
 		n.Invocations = m.Invocations
 		n.Batches = m.Batches
+		n.Vectorized = m.Vectorized
 		n.WallNanos = m.WallNanos
 		n.PeakMemRows = m.PeakMemRows
 		n.PeakMemBytes = m.PeakMemBytes

@@ -1,4 +1,4 @@
-// Command benchharness regenerates every table of the reproduction (E1–E23,
+// Command benchharness regenerates every table of the reproduction (E1–E24,
 // mapped to the paper's figures and claims in DESIGN.md). Run with no
 // arguments for everything, or pass experiment ids:
 //
@@ -10,6 +10,9 @@
 //	                                     # → BENCH_analyze.json (q-error distribution)
 //	go run ./cmd/benchharness robustness # memory-budget/spill overhead and
 //	                                     # cancellation latency → BENCH_robustness.json
+//	go run ./cmd/benchharness vectorized [rows]
+//	                                     # row-vs-vectorized execution of identical
+//	                                     # plans → BENCH_vectorized.json
 package main
 
 import (
@@ -98,8 +101,45 @@ func robustnessBench() error {
 	return nil
 }
 
+// vectorizedBench runs the large row-vs-vectorized comparison and writes
+// BENCH_vectorized.json: rows/sec for both execution models on the
+// scan+filter, hash-aggregation and hash-join microworkloads, plus the
+// `identical` flag certifying bit-equal results.
+func vectorizedBench(rows int) error {
+	res := experiments.RunVectorizedBench(rows, 3)
+	for _, w := range res.Workloads {
+		fmt.Printf("%-12s row=%.3fs (%.0f rows/s)  vec=%.3fs (%.0f rows/s)  speedup=%.2fx  identical=%v\n",
+			w.Workload, w.RowWallSec, w.RowRowsPerSec, w.VecWallSec, w.VecRowsPerSec, w.Speedup, w.Identical)
+	}
+	fmt.Printf("gomaxprocs=%d cpus=%d (single-threaded comparison)\n", res.GOMAXPROCS, res.CPUs)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_vectorized.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_vectorized.json")
+	return nil
+}
+
 func main() {
 	start := time.Now()
+	if len(os.Args) > 1 && os.Args[1] == "vectorized" {
+		rows := 150000
+		if len(os.Args) > 2 {
+			if _, err := fmt.Sscanf(os.Args[2], "%d", &rows); err != nil {
+				fmt.Fprintf(os.Stderr, "bad row count %q: %v\n", os.Args[2], err)
+				os.Exit(1)
+			}
+		}
+		if err := vectorizedBench(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("vectorized bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "robustness" {
 		if err := robustnessBench(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -128,7 +168,7 @@ func main() {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E23)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E24)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

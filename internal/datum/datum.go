@@ -144,6 +144,29 @@ func (d D) String() string {
 // +1. This is the order used by sorts, merge joins and ordered indexes; SQL
 // NULL comparison semantics are handled above this layer.
 func Compare(a, b D) int {
+	// Same-kind fast path: the overwhelmingly common case in sorts, merge
+	// joins and group-key checks skips the rank() family resolution entirely
+	// (BenchmarkDatumCompare measures the delta against the generic path).
+	if a.k == b.k {
+		switch a.k {
+		case KindInt:
+			return cmpInt64(a.i, b.i)
+		case KindFloat:
+			return cmpFloat64(a.f, b.f)
+		case KindString:
+			switch {
+			case a.s < b.s:
+				return -1
+			case a.s > b.s:
+				return 1
+			}
+			return 0
+		case KindBool:
+			return cmpInt64(a.i, b.i)
+		case KindNull:
+			return 0
+		}
+	}
 	ra, rb := rank(a.k), rank(b.k)
 	if ra != rb {
 		if ra < rb {

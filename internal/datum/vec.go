@@ -1,0 +1,263 @@
+// Column vectors for the vectorized execution path: one typed slice per
+// column plus a NULL bitmap, so tight kernels in the executor can loop over
+// raw []int64/[]float64/[]string without per-row interface dispatch. Vectors
+// live in this package (not exec) so the storage engine can fill them
+// directly from heap rows.
+package datum
+
+// Bitmap is a packed NULL bitmap: bit i set means row i is NULL.
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap able to hold n bits, all clear.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports whether bit i is set. Bits beyond the bitmap's length are
+// clear (the bitmap only grows to the highest bit ever set).
+func (b Bitmap) Get(i int) bool {
+	w := i >> 6
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i, growing the bitmap as needed.
+func (b *Bitmap) Set(i int) {
+	for len(*b) <= i>>6 {
+		*b = append(*b, 0)
+	}
+	(*b)[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Vec is one column of a batch. The representation is chosen by kind:
+//
+//	KindInt, KindBool → Ints (bools stored 0/1)
+//	KindFloat         → Floats
+//	KindString        → Strs
+//	KindNull          → no payload (every row is NULL)
+//	boxed             → Ds (datums; the correctness fallback for columns
+//	                    whose stored values mix kinds, e.g. an INT column
+//	                    holding FLOAT datums via numeric coercion)
+//
+// NULL rows are tracked in the bitmap; the payload slot of a NULL row holds
+// the zero value and must not be read.
+type Vec struct {
+	kind Kind
+	n    int
+	// anyKind marks the boxed representation; kind is then the kind of the
+	// first non-null value, for diagnostics only.
+	anyKind bool
+
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Ds     []D
+
+	nulls    Bitmap
+	numNulls int
+}
+
+// NewVec returns an empty vector of the given kind with room for capacity
+// rows.
+func NewVec(k Kind, capacity int) *Vec {
+	v := &Vec{kind: k}
+	v.grow(capacity)
+	return v
+}
+
+// NewAnyVec returns an empty boxed-representation vector.
+func NewAnyVec(capacity int) *Vec {
+	return &Vec{anyKind: true, Ds: make([]D, 0, capacity)}
+}
+
+func (v *Vec) grow(capacity int) {
+	if capacity <= 0 {
+		return
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		if v.Ints == nil {
+			v.Ints = make([]int64, 0, capacity)
+		}
+	case KindFloat:
+		if v.Floats == nil {
+			v.Floats = make([]float64, 0, capacity)
+		}
+	case KindString:
+		if v.Strs == nil {
+			v.Strs = make([]string, 0, capacity)
+		}
+	}
+}
+
+// Kind returns the vector's static kind.
+func (v *Vec) Kind() Kind { return v.kind }
+
+// Boxed reports whether the vector uses the boxed (KindAny) representation.
+func (v *Vec) Boxed() bool { return v.anyKind }
+
+// Len returns the number of rows.
+func (v *Vec) Len() int { return v.n }
+
+// HasNulls reports whether any row is NULL.
+func (v *Vec) HasNulls() bool { return v.numNulls > 0 }
+
+// NumNulls returns the number of NULL rows.
+func (v *Vec) NumNulls() int { return v.numNulls }
+
+// Null reports whether row i is NULL.
+func (v *Vec) Null(i int) bool {
+	if v.anyKind {
+		return v.Ds[i].IsNull()
+	}
+	if v.kind == KindNull {
+		return true
+	}
+	return v.numNulls > 0 && v.nulls.Get(i)
+}
+
+// Nulls exposes the bitmap (nil when the vector has no NULLs). Not
+// meaningful for boxed or all-NULL vectors.
+func (v *Vec) Nulls() Bitmap {
+	if v.numNulls == 0 {
+		return nil
+	}
+	return v.nulls
+}
+
+// Reset empties the vector in place, keeping its backing storage.
+func (v *Vec) Reset(k Kind) {
+	v.kind = k
+	v.anyKind = false
+	v.n = 0
+	v.numNulls = 0
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Strs = v.Strs[:0]
+	v.Ds = v.Ds[:0]
+	for i := range v.nulls {
+		v.nulls[i] = 0
+	}
+}
+
+// AppendNull appends a NULL row.
+func (v *Vec) AppendNull() {
+	if v.anyKind {
+		v.Ds = append(v.Ds, Null)
+		v.n++
+		return
+	}
+	v.nulls.Set(v.n)
+	v.numNulls++
+	switch v.kind {
+	case KindInt, KindBool:
+		v.Ints = append(v.Ints, 0)
+	case KindFloat:
+		v.Floats = append(v.Floats, 0)
+	case KindString:
+		v.Strs = append(v.Strs, "")
+	}
+	v.n++
+}
+
+// AppendD appends a datum, upgrading to the boxed representation when the
+// datum's kind does not match the vector's (numeric coercion lets an INT
+// column store FLOAT datums, so typed fills must tolerate strays).
+func (v *Vec) AppendD(d D) {
+	if v.anyKind {
+		v.Ds = append(v.Ds, d)
+		v.n++
+		return
+	}
+	if d.k == KindNull {
+		v.AppendNull()
+		return
+	}
+	if d.k != v.kind {
+		if v.kind == KindNull && v.n == v.numNulls {
+			// An all-NULL vector adopts the kind of its first value.
+			v.retype(d.k)
+		} else {
+			v.upgradeAny()
+		}
+		v.AppendD(d)
+		return
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		v.Ints = append(v.Ints, d.i)
+	case KindFloat:
+		v.Floats = append(v.Floats, d.f)
+	case KindString:
+		v.Strs = append(v.Strs, d.s)
+	}
+	v.n++
+}
+
+// retype switches an all-NULL vector to a typed representation.
+func (v *Vec) retype(k Kind) {
+	v.kind = k
+	for i := 0; i < v.n; i++ {
+		switch k {
+		case KindInt, KindBool:
+			v.Ints = append(v.Ints, 0)
+		case KindFloat:
+			v.Floats = append(v.Floats, 0)
+		case KindString:
+			v.Strs = append(v.Strs, "")
+		}
+		v.nulls.Set(i)
+	}
+}
+
+// upgradeAny converts the vector to the boxed representation in place.
+func (v *Vec) upgradeAny() {
+	ds := make([]D, v.n, v.n+8)
+	for i := 0; i < v.n; i++ {
+		ds[i] = v.D(i)
+	}
+	v.anyKind = true
+	v.Ds = ds
+	v.Ints, v.Floats, v.Strs = nil, nil, nil
+}
+
+// D reconstructs row i as a datum.
+func (v *Vec) D(i int) D {
+	if v.anyKind {
+		return v.Ds[i]
+	}
+	if v.kind == KindNull || (v.numNulls > 0 && v.nulls.Get(i)) {
+		return Null
+	}
+	switch v.kind {
+	case KindInt:
+		return D{k: KindInt, i: v.Ints[i]}
+	case KindBool:
+		return D{k: KindBool, i: v.Ints[i]}
+	case KindFloat:
+		return D{k: KindFloat, f: v.Floats[i]}
+	case KindString:
+		return D{k: KindString, s: v.Strs[i]}
+	}
+	return Null
+}
+
+// AppendVec appends row i of src (any representation) to v.
+func (v *Vec) AppendVec(src *Vec, i int) { v.AppendD(src.D(i)) }
+
+// DataBytes returns the modeled width of the rows selected by sel (all rows
+// when sel is nil), matching D.Size over the reconstructed datums — used so
+// batch memory reservations agree with the row path's accounting.
+func (v *Vec) DataBytes(sel []int32) int64 {
+	var total int64
+	if sel == nil {
+		for i := 0; i < v.n; i++ {
+			total += int64(v.D(i).Size())
+		}
+		return total
+	}
+	for _, i := range sel {
+		total += int64(v.D(int(i)).Size())
+	}
+	return total
+}

@@ -243,6 +243,21 @@ func newGroupTable(groupLen int, aggs []logical.AggItem) *groupTable {
 	return gt
 }
 
+// presize pre-allocates the hash buckets and insertion-order slice for an
+// expected group count — the optimizer's cardinality estimate, so a
+// well-estimated aggregation never rehashes while growing. Call before the
+// first add; no-op for scalar tables (their single group already exists).
+func (gt *groupTable) presize(hint int) {
+	if gt.scalar || hint <= 0 {
+		return
+	}
+	if hint > 1<<20 {
+		hint = 1 << 20 // a wild overestimate must not make presizing the cost
+	}
+	gt.groups = make(map[uint64][]*groupEntry, hint)
+	gt.order = make([]*groupEntry, 0, hint)
+}
+
 // entryBytes models the footprint of one group: key data plus bookkeeping
 // plus a fixed per-accumulator cost.
 func (gt *groupTable) entryBytes(key datum.Row) int64 {

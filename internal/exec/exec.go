@@ -70,6 +70,11 @@ type Ctx struct {
 	Faults *faultfs.Injector
 	// TempDir overrides the directory for spill files (default os.TempDir).
 	TempDir string
+	// Vectorize enables the columnar batch path (vector.go): operators whose
+	// predicates, projections and aggregates all have typed kernels run over
+	// column vectors; everything else falls back to the row engine
+	// automatically. NewCtx turns it on; a zero-value Ctx runs rows only.
+	Vectorize bool
 	// Metrics, when non-nil, collects per-operator runtime metrics (EXPLAIN
 	// ANALYZE): actual rows, invocations, morsel batches, wall time, peak
 	// buffered rows and per-worker row counts. Enable with EnableAnalyze.
@@ -146,7 +151,7 @@ func (c *Ctx) step(op string) error {
 // NewCtx returns a context over the given store and metadata, with a buffer
 // pool sized like cost.DefaultModel (256 pages).
 func NewCtx(store *storage.Store, md *logical.Metadata) *Ctx {
-	return &Ctx{Store: store, Meta: md, Buffer: NewPageBuffer(256)}
+	return &Ctx{Store: store, Meta: md, Buffer: NewPageBuffer(256), Vectorize: true}
 }
 
 // Close releases a lazily created worker pool. It is safe to call on any
@@ -178,6 +183,7 @@ func (c *Ctx) child() *Ctx {
 	return &Ctx{
 		Store: c.Store, Meta: c.Meta, Buffer: NewPageBuffer(c.Buffer.Cap()),
 		Context: c.Context, Mem: c.Mem, Faults: c.Faults, TempDir: c.TempDir,
+		Vectorize: c.Vectorize,
 	}
 }
 

@@ -98,6 +98,11 @@ func (c *Ctx) runPlan(p physical.Plan) ([]datum.Row, error) {
 // output; inner operators of joins may be re-materialized only once (the
 // engine caches nothing across calls — joins materialize inputs explicitly).
 func (c *Ctx) execPlan(p physical.Plan) ([]datum.Row, error) {
+	if c.Vectorize {
+		if rows, ok, err := c.execVectorized(p); ok {
+			return rows, err
+		}
+	}
 	switch t := p.(type) {
 	case *physical.TableScan:
 		return c.runTableScan(t)
@@ -175,9 +180,9 @@ func (c *Ctx) execPlan(p physical.Plan) ([]datum.Row, error) {
 	case *physical.HashJoin:
 		return c.runHashJoin(t)
 	case *physical.HashGroupBy:
-		return c.runGroupBy(t.Input, t.GroupCols, t.Aggs, true)
+		return c.runGroupBy(t.Input, t.GroupCols, t.Aggs, true, t.Rows)
 	case *physical.StreamGroupBy:
-		return c.runGroupBy(t.Input, t.GroupCols, t.Aggs, false)
+		return c.runGroupBy(t.Input, t.GroupCols, t.Aggs, false, t.Rows)
 	case *physical.LimitOp:
 		in, err := c.runPlan(t.Input)
 		if err != nil {
@@ -722,7 +727,7 @@ func (c *Ctx) runHashJoin(t *physical.HashJoin) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs []logical.AggItem, hash bool) ([]datum.Row, error) {
+func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs []logical.AggItem, hash bool, estGroups float64) ([]datum.Row, error) {
 	in, err := c.runPlan(input)
 	if err != nil {
 		return nil, err
@@ -742,6 +747,7 @@ func (c *Ctx) runGroupBy(input physical.Plan, groupCols []logical.ColumnID, aggs
 		return out, err
 	}
 	gt := newGroupTable(len(groupCols), aggs)
+	gt.presize(int(estGroups))
 	if hash {
 		// Stream aggregation over sorted input holds one group at a time in a
 		// real iterator engine; only the hash table is budgeted working memory.

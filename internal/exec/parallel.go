@@ -263,7 +263,7 @@ func (c *Ctx) scanRowsParallel(rows []datum.Row, cols []logical.ColumnID, colOrd
 			return err
 		}
 		e := newEnv(cols, nil)
-		var out []datum.Row
+		out := getRowBuf()
 		for _, r := range rows[lo:hi] {
 			wc.Counters.RowsProcessed++
 			pr := projectRow(r, colOrds)
@@ -285,7 +285,7 @@ func (c *Ctx) scanRowsParallel(rows []datum.Row, cols []logical.ColumnID, colOrd
 	if err != nil {
 		return nil, err
 	}
-	return concatMorsels(outs), nil
+	return concatMorselsPooled(outs), nil
 }
 
 // filterRowsParallel evaluates predicates over already-projected rows.
@@ -293,7 +293,7 @@ func (c *Ctx) filterRowsParallel(in []datum.Row, layout []logical.ColumnID, pred
 	outs := make([][]datum.Row, numMorsels(len(in)))
 	err := c.forMorsels(len(in), func(wc *Ctx, m, lo, hi int) error {
 		e := newEnv(layout, nil)
-		var out []datum.Row
+		out := getRowBuf()
 		for _, r := range in[lo:hi] {
 			wc.Counters.RowsProcessed++
 			e.row = r
@@ -311,7 +311,7 @@ func (c *Ctx) filterRowsParallel(in []datum.Row, layout []logical.ColumnID, pred
 	if err != nil {
 		return nil, err
 	}
-	return concatMorsels(outs), nil
+	return concatMorselsPooled(outs), nil
 }
 
 // projectRowsParallel computes projection items over morsels.
@@ -377,7 +377,9 @@ func (c *Ctx) runHashJoinParallel(t *physical.HashJoin, left, right []datum.Row,
 	// bucket entries in global build-row order (matching the serial build).
 	builds := make([]map[uint64][]int, nParts)
 	err = c.runWorkers(nParts, func(w int, wc *Ctx) error {
-		b := make(map[uint64][]int)
+		// Pre-size for an even partition split: rehash churn on the build is
+		// pure overhead, and skew only makes one map larger than its hint.
+		b := make(map[uint64][]int, len(right)/nParts+1)
 		for m := 0; m < nmBuild; m++ {
 			if m%64 == 0 {
 				if wc.bar.aborted() {
@@ -659,7 +661,7 @@ func (c *Ctx) fetchRowsParallel(tab *storage.Table, ids []int, cols []logical.Co
 			return err
 		}
 		e := newEnv(cols, nil)
-		var out []datum.Row
+		out := getRowBuf()
 		for _, id := range ids[lo:hi] {
 			wc.Counters.RowsProcessed++
 			pr := projectRow(tab.Row(id), colOrds)
@@ -681,7 +683,7 @@ func (c *Ctx) fetchRowsParallel(tab *storage.Table, ids []int, cols []logical.Co
 	if err != nil {
 		return nil, err
 	}
-	return concatMorsels(outs), nil
+	return concatMorselsPooled(outs), nil
 }
 
 // --- parallel hash aggregation ---

@@ -1,0 +1,865 @@
+// The vectorized execution path: operators that produce and consume columnar
+// batches (batch.go) through the typed kernels in kernels.go, integrated
+// under the same morsel scheduler, memory governor, fault cadence and metrics
+// as the row engine. Dispatch is structural — execPlanBatch claims an
+// operator only when every predicate, projection item and aggregate has a
+// kernel; anything else falls back to the row path automatically, so turning
+// vectorization on never changes which queries run, only how fast. Claimed
+// operators replicate the row path's observable behaviour exactly: the same
+// counters (RowsProcessed, HashOps, IndexSeeks), the same page touches, the
+// same step("scan") fault/cancel cadence per MorselSize rows, the same memory
+// reservations with the same spill fallbacks, and bit-identical output rows.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/logical"
+	"repro/internal/physical"
+)
+
+// execVectorized attempts to run p on the batch path. ok=false means no
+// vectorized implementation claimed the operator (the caller runs the row
+// path); ok=true means the batch path ran (successfully or not).
+func (c *Ctx) execVectorized(p physical.Plan) ([]datum.Row, bool, error) {
+	b, ok, err := c.execPlanBatch(p)
+	if !ok {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	if c.curNode != nil {
+		c.curNode.Vectorized = true
+	}
+	return b.ToRows(), true, nil
+}
+
+// execPlanBatch dispatches to the vectorized operator implementations.
+// The bool result distinguishes "not vectorizable" (false) from "ran" (true);
+// errors are only meaningful in the latter case.
+func (c *Ctx) execPlanBatch(p physical.Plan) (*Batch, bool, error) {
+	switch t := p.(type) {
+	case *physical.TableScan:
+		return c.vecTableScan(t)
+	case *physical.IndexScan:
+		return c.vecIndexScan(t)
+	case *physical.Filter:
+		return c.vecFilter(t)
+	case *physical.Project:
+		return c.vecProject(t)
+	case *physical.HashGroupBy:
+		return c.vecGroupBy(t)
+	case *physical.HashJoin:
+		return c.vecHashJoin(t)
+	}
+	return nil, false, nil
+}
+
+// inputBatch runs a vectorized operator's child, natively in batch form when
+// the child is itself vectorized and via row materialization otherwise. It
+// mirrors runPlan's metering so EXPLAIN ANALYZE sees child operators
+// identically on both paths.
+func (c *Ctx) inputBatch(p physical.Plan) (*Batch, error) {
+	if err := c.canceled(); err != nil {
+		return nil, err
+	}
+	if c.Metrics == nil {
+		b, ok, err := c.execPlanBatch(p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return b, nil
+		}
+		rows, err := c.execPlan(p)
+		if err != nil {
+			return nil, err
+		}
+		return batchFromRows(p.Columns(), rows), nil
+	}
+	m := c.Metrics.Node(p)
+	m.Invocations++
+	prev := c.curNode
+	c.curNode = m
+	start := time.Now()
+	b, ok, err := c.execPlanBatch(p)
+	if ok {
+		m.WallNanos += time.Since(start).Nanoseconds()
+		if b != nil {
+			m.ActualRows += int64(b.NumRows())
+		}
+		m.Vectorized = true
+		c.curNode = prev
+		return b, err
+	}
+	rows, err := c.execPlan(p)
+	m.WallNanos += time.Since(start).Nanoseconds()
+	m.ActualRows += int64(len(rows))
+	c.curNode = prev
+	if err != nil {
+		return nil, err
+	}
+	return batchFromRows(p.Columns(), rows), nil
+}
+
+// identSel returns the identity selection vector [0, n).
+func identSel(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// liveSel returns the batch's live row indices, materializing the identity
+// when no selection vector is present.
+func (b *Batch) liveSel() []int32 {
+	if b.Sel != nil {
+		return b.Sel
+	}
+	return identSel(b.n)
+}
+
+// vecNullAt reports whether any of the key columns is NULL at row i.
+func vecNullAt(vecs []*datum.Vec, offs []int, i int) bool {
+	for _, o := range offs {
+		if vecs[o].Null(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// colKinds resolves the static column kinds of a scan layout from metadata.
+func (c *Ctx) colKinds(cols []logical.ColumnID) []datum.Kind {
+	kinds := make([]datum.Kind, len(cols))
+	for i, id := range cols {
+		kinds[i] = c.Meta.Column(id).Kind
+	}
+	return kinds
+}
+
+// scanScratch is the per-chunk working state of a filtered vectorized scan:
+// one reusable vector per predicate-referenced column plus ping-pong
+// selection buffers. Only the filter columns are filled before the kernels
+// run — surviving rows are late-materialized afterwards.
+type scanScratch struct {
+	vecs       []*datum.Vec
+	kinds      []datum.Kind
+	predCols   []int
+	ident      []int32
+	selA, selB []int32
+}
+
+func newScanScratch(kinds []datum.Kind, preds []compiledPred) *scanScratch {
+	s := &scanScratch{
+		vecs:  make([]*datum.Vec, len(kinds)),
+		kinds: kinds,
+		ident: identSel(MorselSize),
+		selA:  make([]int32, 0, MorselSize),
+		selB:  make([]int32, 0, MorselSize),
+	}
+	seen := make(map[int]bool)
+	note := func(col int) {
+		if !seen[col] {
+			seen[col] = true
+			s.predCols = append(s.predCols, col)
+			s.vecs[col] = datum.NewVec(kinds[col], MorselSize)
+		}
+	}
+	for _, p := range preds {
+		switch p.form {
+		case predNever:
+		case predColCol:
+			note(p.col)
+			note(p.col2)
+		default:
+			note(p.col)
+		}
+	}
+	return s
+}
+
+// reset readies the scratch vectors for the next chunk.
+func (s *scanScratch) reset() {
+	for _, pc := range s.predCols {
+		s.vecs[pc].Reset(s.kinds[pc])
+	}
+}
+
+// filterChunk runs the compiled predicates over rows [0, chunkLen) of the
+// scratch vectors and returns the surviving local indices. The returned slice
+// aliases scratch buffers — consume it before the next chunk.
+func (s *scanScratch) filterChunk(preds []compiledPred, chunkLen int) []int32 {
+	cur := s.ident[:chunkLen]
+	useA := true
+	b := &Batch{Vecs: s.vecs, n: chunkLen}
+	for _, p := range preds {
+		var dst []int32
+		if useA {
+			dst = s.selA[:0]
+		} else {
+			dst = s.selB[:0]
+		}
+		cur = applyPred(b, p, cur, dst)
+		if useA {
+			s.selA = cur
+		} else {
+			s.selB = cur
+		}
+		useA = !useA
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// --- vectorized scans ---
+
+func (c *Ctx) vecTableScan(t *physical.TableScan) (*Batch, bool, error) {
+	preds, ok := compilePreds(t.Filter, t.Cols)
+	if !ok {
+		return nil, false, nil
+	}
+	tab, found := c.Store.Table(t.Table.Name)
+	if !found {
+		return nil, true, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
+	}
+	c.touchScan(tab)
+	n := tab.RowCount()
+	kinds := c.colKinds(t.Cols)
+
+	if len(preds) == 0 {
+		// Unfiltered scan: each column fills in one tight pass. The morsel
+		// loop only keeps the governor cadence (step, counters, batches)
+		// identical to the row path; the fill itself is bandwidth-bound, so
+		// fanning it out buys nothing.
+		if c.parallel() && n >= minParallelRows {
+			err := c.forMorsels(n, func(wc *Ctx, m, lo, hi int) error {
+				if err := wc.step("scan"); err != nil {
+					return err
+				}
+				wc.Counters.RowsProcessed += int64(hi - lo)
+				return nil
+			})
+			if err != nil {
+				return nil, true, err
+			}
+		} else {
+			if c.curNode != nil {
+				c.curNode.Batches += int64(numMorsels(n))
+			}
+			for lo := 0; lo < n; lo += MorselSize {
+				hi := min(lo+MorselSize, n)
+				if err := c.step("scan"); err != nil {
+					return nil, true, err
+				}
+				c.Counters.RowsProcessed += int64(hi - lo)
+			}
+		}
+		vecs := make([]*datum.Vec, len(t.Cols))
+		for ci := range t.Cols {
+			v := datum.NewVec(kinds[ci], n)
+			tab.FillColumnRange(t.ColOrds[ci], 0, n, v)
+			vecs[ci] = v
+		}
+		return &Batch{Cols: t.Cols, Vecs: vecs, n: n}, true, nil
+	}
+
+	// Filtered scan, late-materialized: fill only the predicate columns per
+	// morsel, refine the selection with the kernels, then gather every output
+	// column for the survivors in one pass.
+	var ids []int
+	if c.parallel() && n >= minParallelRows {
+		idsPer := make([][]int, numMorsels(n))
+		err := c.forMorsels(n, func(wc *Ctx, m, lo, hi int) error {
+			if err := wc.step("scan"); err != nil {
+				return err
+			}
+			wc.Counters.RowsProcessed += int64(hi - lo)
+			scratch := newScanScratch(kinds, preds)
+			for _, pc := range scratch.predCols {
+				tab.FillColumnRange(t.ColOrds[pc], lo, hi, scratch.vecs[pc])
+			}
+			sel := scratch.filterChunk(preds, hi-lo)
+			if len(sel) == 0 {
+				return nil
+			}
+			loc := make([]int, len(sel))
+			for k, i := range sel {
+				loc[k] = lo + int(i)
+			}
+			idsPer[m] = loc
+			return nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		for _, loc := range idsPer {
+			ids = append(ids, loc...)
+		}
+	} else {
+		if c.curNode != nil {
+			c.curNode.Batches += int64(numMorsels(n))
+		}
+		scratch := newScanScratch(kinds, preds)
+		for lo := 0; lo < n; lo += MorselSize {
+			hi := min(lo+MorselSize, n)
+			if err := c.step("scan"); err != nil {
+				return nil, true, err
+			}
+			c.Counters.RowsProcessed += int64(hi - lo)
+			scratch.reset()
+			for _, pc := range scratch.predCols {
+				tab.FillColumnRange(t.ColOrds[pc], lo, hi, scratch.vecs[pc])
+			}
+			for _, i := range scratch.filterChunk(preds, hi-lo) {
+				ids = append(ids, lo+int(i))
+			}
+		}
+	}
+	vecs := make([]*datum.Vec, len(t.Cols))
+	for ci := range t.Cols {
+		v := datum.NewVec(kinds[ci], len(ids))
+		tab.FillColumnIDs(t.ColOrds[ci], ids, v)
+		vecs[ci] = v
+	}
+	return &Batch{Cols: t.Cols, Vecs: vecs, n: len(ids)}, true, nil
+}
+
+func (c *Ctx) vecIndexScan(t *physical.IndexScan) (*Batch, bool, error) {
+	preds, ok := compilePreds(t.Filter, t.Cols)
+	if !ok {
+		return nil, false, nil
+	}
+	tab, found := c.Store.Table(t.Table.Name)
+	if !found {
+		return nil, true, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
+	}
+	ix, err := tab.Index(t.Index.Name)
+	if err != nil {
+		return nil, true, err
+	}
+	c.Counters.IndexSeeks++
+	var ids []int
+	switch {
+	case len(t.EqKey) > 0 && (!t.Lo.IsNull() || !t.Hi.IsNull()):
+		ids = ix.SeekEq(t.EqKey)
+		rangeOrd := t.Index.Cols[len(t.EqKey)]
+		ids = filterIDsByRange(tab, ids, rangeOrd, t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+	case len(t.EqKey) > 0:
+		ids = ix.SeekEq(t.EqKey)
+	default:
+		ids = ix.SeekRange(t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+	}
+	for _, id := range ids {
+		c.touchRow(tab, id)
+	}
+	kinds := c.colKinds(t.Cols)
+
+	keep := ids
+	if len(preds) > 0 {
+		keep = keep[:0:0]
+		filterMorsel := func(wc *Ctx, scratch *scanScratch, lo, hi int) []int {
+			scratch.reset()
+			for _, pc := range scratch.predCols {
+				tab.FillColumnIDs(t.ColOrds[pc], ids[lo:hi], scratch.vecs[pc])
+			}
+			sel := scratch.filterChunk(preds, hi-lo)
+			if len(sel) == 0 {
+				return nil
+			}
+			loc := make([]int, len(sel))
+			for k, i := range sel {
+				loc[k] = ids[lo+int(i)]
+			}
+			return loc
+		}
+		if c.parallel() && len(ids) >= minParallelRows {
+			keepPer := make([][]int, numMorsels(len(ids)))
+			err := c.forMorsels(len(ids), func(wc *Ctx, m, lo, hi int) error {
+				if err := wc.step("scan"); err != nil {
+					return err
+				}
+				wc.Counters.RowsProcessed += int64(hi - lo)
+				keepPer[m] = filterMorsel(wc, newScanScratch(kinds, preds), lo, hi)
+				return nil
+			})
+			if err != nil {
+				return nil, true, err
+			}
+			for _, loc := range keepPer {
+				keep = append(keep, loc...)
+			}
+		} else {
+			if c.curNode != nil {
+				c.curNode.Batches += int64(numMorsels(len(ids)))
+			}
+			scratch := newScanScratch(kinds, preds)
+			for lo := 0; lo < len(ids); lo += MorselSize {
+				hi := min(lo+MorselSize, len(ids))
+				if err := c.step("scan"); err != nil {
+					return nil, true, err
+				}
+				c.Counters.RowsProcessed += int64(hi - lo)
+				keep = append(keep, filterMorsel(c, scratch, lo, hi)...)
+			}
+		}
+	} else {
+		if c.curNode != nil {
+			c.curNode.Batches += int64(numMorsels(len(ids)))
+		}
+		for lo := 0; lo < len(ids); lo += MorselSize {
+			hi := min(lo+MorselSize, len(ids))
+			if err := c.step("scan"); err != nil {
+				return nil, true, err
+			}
+			c.Counters.RowsProcessed += int64(hi - lo)
+		}
+	}
+	vecs := make([]*datum.Vec, len(t.Cols))
+	for ci := range t.Cols {
+		v := datum.NewVec(kinds[ci], len(keep))
+		tab.FillColumnIDs(t.ColOrds[ci], keep, v)
+		vecs[ci] = v
+	}
+	return &Batch{Cols: t.Cols, Vecs: vecs, n: len(keep)}, true, nil
+}
+
+// --- vectorized filter and projection ---
+
+func (c *Ctx) vecFilter(t *physical.Filter) (*Batch, bool, error) {
+	preds, ok := compilePreds(t.Preds, t.Input.Columns())
+	if !ok {
+		return nil, false, nil
+	}
+	in, err := c.inputBatch(t.Input)
+	if err != nil {
+		return nil, true, err
+	}
+	c.Counters.RowsProcessed += int64(in.NumRows())
+	if c.curNode != nil {
+		c.curNode.Batches += int64(numMorsels(in.NumRows()))
+	}
+	sel := in.liveSel()
+	for _, p := range preds {
+		if len(sel) == 0 {
+			break
+		}
+		sel = applyPred(in, p, sel, make([]int32, 0, len(sel)))
+	}
+	return &Batch{Cols: in.Cols, Vecs: in.Vecs, Sel: sel, n: in.n}, true, nil
+}
+
+func (c *Ctx) vecProject(t *physical.Project) (*Batch, bool, error) {
+	layout := t.Input.Columns()
+	offs := make([]int, len(t.Items))
+	for i, it := range t.Items {
+		col, isCol := it.Expr.(*logical.Col)
+		if !isCol {
+			return nil, false, nil
+		}
+		off := -1
+		for j, id := range layout {
+			if id == col.ID {
+				off = j
+				break
+			}
+		}
+		if off < 0 {
+			return nil, false, nil
+		}
+		offs[i] = off
+	}
+	in, err := c.inputBatch(t.Input)
+	if err != nil {
+		return nil, true, err
+	}
+	c.Counters.RowsProcessed += int64(in.NumRows())
+	// Pure column selection: the output shares the input's vectors — a
+	// projection costs len(items) pointer copies, not a row copy.
+	vecs := make([]*datum.Vec, len(offs))
+	for i, off := range offs {
+		vecs[i] = in.Vecs[off]
+	}
+	return &Batch{Cols: t.Columns(), Vecs: vecs, Sel: in.Sel, n: in.n}, true, nil
+}
+
+// --- vectorized hash aggregation ---
+
+// vecGroups is the batch path's group table: hash-bucketed group ids over
+// interned key rows, charged to the memory account with the row path's exact
+// per-entry model so both trip the budget at the same input.
+type vecGroups struct {
+	byHash  map[uint64][]int32
+	keys    []datum.Row
+	keyOff  []int
+	nAggs   int
+	mem     *MemAccount
+	charged int64
+}
+
+func (g *vecGroups) release() {
+	if g.charged > 0 {
+		g.mem.Shrink(g.charged)
+		g.charged = 0
+	}
+}
+
+// assign returns the group id of batch row i, creating (and charging) the
+// group on first sight. Group ids are dense and in first-appearance order, so
+// emitting groups by id reproduces the row path's insertion order.
+func (g *vecGroups) assign(in *Batch, i int, h uint64) (int32, error) {
+	for _, gid := range g.byHash[h] {
+		key := g.keys[gid]
+		match := true
+		for kc, ko := range g.keyOff {
+			if !datum.Equal(in.Vecs[ko].D(i), key[kc]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return gid, nil
+		}
+	}
+	key := make(datum.Row, len(g.keyOff))
+	for kc, ko := range g.keyOff {
+		key[kc] = in.Vecs[ko].D(i)
+	}
+	n := int64(key.Size()) + entryOverhead + int64(48*g.nAggs)
+	if err := g.mem.GrowFloor("hash aggregation", n, g.charged, 0); err != nil {
+		return 0, err
+	}
+	g.charged += n
+	gid := int32(len(g.keys))
+	g.keys = append(g.keys, key)
+	g.byHash[h] = append(g.byHash[h], gid)
+	return gid, nil
+}
+
+func (c *Ctx) vecGroupBy(t *physical.HashGroupBy) (*Batch, bool, error) {
+	if c.parallel() {
+		// Large inputs take the two-phase parallel row aggregation; claiming
+		// them here would serialize the pipeline.
+		return nil, false, nil
+	}
+	layout := t.Input.Columns()
+	keyOff, err := offsetsOf(layout, t.GroupCols)
+	if err != nil {
+		return nil, false, nil
+	}
+	argOff := make([]int, len(t.Aggs))
+	for i, a := range t.Aggs {
+		if a.Distinct {
+			return nil, false, nil
+		}
+		if a.Arg == nil {
+			if a.Fn != logical.AggCount {
+				return nil, false, nil
+			}
+			argOff[i] = -1
+			continue
+		}
+		col, isCol := a.Arg.(*logical.Col)
+		if !isCol {
+			return nil, false, nil
+		}
+		off := -1
+		for j, id := range layout {
+			if id == col.ID {
+				off = j
+				break
+			}
+		}
+		if off < 0 {
+			return nil, false, nil
+		}
+		argOff[i] = off
+	}
+
+	in, err := c.inputBatch(t.Input)
+	if err != nil {
+		return nil, true, err
+	}
+	// Pre-size hash buckets from the optimizer's group-count estimate, capped
+	// so a wild overestimate cannot make the presize itself the cost.
+	hint := int(t.Rows)
+	if hint < 0 {
+		hint = 0
+	}
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	g := &vecGroups{byHash: make(map[uint64][]int32, hint), keyOff: keyOff, nAggs: len(t.Aggs), mem: c.Mem}
+	defer g.release()
+	scalar := len(keyOff) == 0
+	if scalar {
+		// Like newGroupTable, the single global group of a scalar aggregation
+		// exists before any accounting and is never charged.
+		g.keys = append(g.keys, nil)
+	}
+	accs := make([]vecAccumulator, len(t.Aggs))
+	for i, a := range t.Aggs {
+		var arg *datum.Vec
+		if argOff[i] >= 0 {
+			arg = in.Vecs[argOff[i]]
+		}
+		if accs[i] = newVecAccumulator(a, arg); accs[i] == nil {
+			return nil, false, nil
+		}
+	}
+
+	sel := in.liveSel()
+	if c.curNode != nil {
+		c.curNode.Batches += int64(numMorsels(len(sel)))
+	}
+	gidBuf := make([]int32, MorselSize)
+	for lo := 0; lo < len(sel); lo += MorselSize {
+		hi := min(lo+MorselSize, len(sel))
+		if err := c.canceled(); err != nil {
+			return nil, true, err
+		}
+		chunk := sel[lo:hi]
+		c.Counters.RowsProcessed += int64(len(chunk))
+		c.Counters.HashOps += int64(len(chunk))
+		gids := gidBuf[:len(chunk)]
+		if scalar {
+			for k := range gids {
+				gids[k] = 0
+			}
+		} else {
+			hs := getHashBuf(len(chunk))
+			hashInit(hs)
+			for _, ko := range keyOff {
+				hashCombineVec(in.Vecs[ko], chunk, hs)
+			}
+			for k, i := range chunk {
+				gid, aerr := g.assign(in, int(i), hs[k])
+				if aerr != nil {
+					// Budget exceeded: degrade to the partition-and-spill
+					// aggregation, exactly like the row path.
+					putHashBuf(hs)
+					g.release()
+					rows := in.ToRows()
+					out, serr := c.spillGroupBy(rows, layout, keyOff, t.GroupCols, t.Aggs)
+					if serr != nil {
+						return nil, true, serr
+					}
+					return batchFromRows(t.Columns(), out), true, nil
+				}
+				gids[k] = gid
+			}
+			putHashBuf(hs)
+		}
+		ng := len(g.keys)
+		for ai := range accs {
+			var arg *datum.Vec
+			if argOff[ai] >= 0 {
+				arg = in.Vecs[argOff[ai]]
+			}
+			accs[ai].ensure(ng)
+			accs[ai].accumulate(arg, chunk, gids)
+		}
+	}
+	for ai := range accs {
+		accs[ai].ensure(len(g.keys)) // scalar agg over empty input still emits
+	}
+	c.noteMem(int64(len(g.keys)))
+	c.noteMemBytes(g.charged)
+
+	outCols := t.Columns()
+	vecs := make([]*datum.Vec, len(outCols))
+	for kc := range keyOff {
+		v := datum.NewVec(datum.KindNull, len(g.keys))
+		for _, key := range g.keys {
+			v.AppendD(key[kc])
+		}
+		vecs[kc] = v
+	}
+	for ai := range accs {
+		v := datum.NewVec(datum.KindNull, len(g.keys))
+		for gid := range g.keys {
+			v.AppendD(accs[ai].result(gid))
+		}
+		vecs[len(keyOff)+ai] = v
+	}
+	return &Batch{Cols: outCols, Vecs: vecs, n: len(g.keys)}, true, nil
+}
+
+// --- vectorized hash join ---
+
+// gatherVec materializes src rows named by idx into a fresh vector; negative
+// indices produce NULL (the outer-join padding).
+func gatherVec(src *datum.Vec, idx []int32) *datum.Vec {
+	var out *datum.Vec
+	if src.Boxed() {
+		out = datum.NewAnyVec(len(idx))
+	} else {
+		out = datum.NewVec(src.Kind(), len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 {
+			out.AppendNull()
+		} else {
+			out.AppendVec(src, int(i))
+		}
+	}
+	return out
+}
+
+// vecKeysEqual reports whether the join keys match, with the row path's
+// datum.EqualOn semantics (NULLs are pre-filtered by the callers).
+func vecKeysEqual(l *Batch, lOff []int, li int, r *Batch, rOff []int, ri int) bool {
+	for k := range lOff {
+		if !datum.Equal(l.Vecs[lOff[k]].D(li), r.Vecs[rOff[k]].D(ri)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Ctx) vecHashJoin(t *physical.HashJoin) (*Batch, bool, error) {
+	if c.parallel() || len(t.ExtraOn) > 0 {
+		return nil, false, nil
+	}
+	leftLayout, rightLayout := t.Left.Columns(), t.Right.Columns()
+	lOff, err := offsetsOf(leftLayout, t.LeftKeys)
+	if err != nil {
+		return nil, false, nil
+	}
+	rOff, err := offsetsOf(rightLayout, t.RightKeys)
+	if err != nil {
+		return nil, false, nil
+	}
+	left, err := c.inputBatch(t.Left)
+	if err != nil {
+		return nil, true, err
+	}
+	right, err := c.inputBatch(t.Right)
+	if err != nil {
+		return nil, true, err
+	}
+	buildBytes := batchRowBytes(right)
+	if err := c.Mem.Grow("hash join build", buildBytes); err != nil {
+		// Build side over budget: degrade to the grace hash join on
+		// materialized rows, exactly like the row path.
+		out, jerr := c.graceHashJoin(t, left.ToRows(), right.ToRows(), lOff, rOff)
+		if jerr != nil {
+			return nil, true, jerr
+		}
+		return batchFromRows(t.Columns(), out), true, nil
+	}
+	defer c.Mem.Shrink(buildBytes)
+	c.noteMemBytes(buildBytes)
+
+	// Build on the right: bucket lists hold batch row indices in selection
+	// order, so every probe sees its matches in the serial row order.
+	rsel := right.liveSel()
+	build := make(map[uint64][]int32, len(rsel))
+	for lo := 0; lo < len(rsel); lo += MorselSize {
+		hi := min(lo+MorselSize, len(rsel))
+		chunk := rsel[lo:hi]
+		hs := getHashBuf(len(chunk))
+		hashInit(hs)
+		for _, ro := range rOff {
+			hashCombineVec(right.Vecs[ro], chunk, hs)
+		}
+		for k, ri := range chunk {
+			if vecNullAt(right.Vecs, rOff, int(ri)) {
+				continue // NULL keys never match; FullOuter emits them below
+			}
+			c.Counters.HashOps++
+			build[hs[k]] = append(build[hs[k]], ri)
+		}
+		putHashBuf(hs)
+	}
+	c.noteMem(int64(right.NumRows()))
+
+	// Probe the left in selection order, emitting (left, right) index pairs;
+	// ri = -1 pads unmatched outer rows with NULLs at gather time.
+	lsel := left.liveSel()
+	if c.curNode != nil {
+		c.curNode.Batches += int64(numMorsels(len(lsel)))
+	}
+	semiShape := t.Kind == logical.SemiJoin || t.Kind == logical.AntiJoin
+	var lIdx, rIdx []int32
+	var rightMatched []bool
+	if t.Kind == logical.FullOuterJoin {
+		rightMatched = make([]bool, right.n)
+	}
+	for lo := 0; lo < len(lsel); lo += MorselSize {
+		hi := min(lo+MorselSize, len(lsel))
+		if err := c.canceled(); err != nil {
+			return nil, true, err
+		}
+		chunk := lsel[lo:hi]
+		hs := getHashBuf(len(chunk))
+		hashInit(hs)
+		for _, lo2 := range lOff {
+			hashCombineVec(left.Vecs[lo2], chunk, hs)
+		}
+		for k, li := range chunk {
+			matched := false
+			if !vecNullAt(left.Vecs, lOff, int(li)) {
+				c.Counters.HashOps++
+				for _, ri := range build[hs[k]] {
+					if !vecKeysEqual(left, lOff, int(li), right, rOff, int(ri)) {
+						continue
+					}
+					c.Counters.RowsProcessed++
+					matched = true
+					if rightMatched != nil {
+						rightMatched[ri] = true
+					}
+					switch t.Kind {
+					case logical.InnerJoin, logical.LeftOuterJoin, logical.FullOuterJoin:
+						lIdx = append(lIdx, li)
+						rIdx = append(rIdx, ri)
+					case logical.SemiJoin:
+						lIdx = append(lIdx, li)
+					}
+					if semiShape {
+						break
+					}
+				}
+			}
+			switch t.Kind {
+			case logical.LeftOuterJoin, logical.FullOuterJoin:
+				if !matched {
+					lIdx = append(lIdx, li)
+					rIdx = append(rIdx, -1)
+				}
+			case logical.AntiJoin:
+				if !matched {
+					lIdx = append(lIdx, li)
+				}
+			}
+		}
+		putHashBuf(hs)
+	}
+	if t.Kind == logical.FullOuterJoin {
+		for _, ri := range rsel {
+			if !rightMatched[ri] {
+				lIdx = append(lIdx, -1)
+				rIdx = append(rIdx, ri)
+			}
+		}
+	}
+
+	outCols := t.Columns()
+	vecs := make([]*datum.Vec, 0, len(outCols))
+	for _, v := range left.Vecs[:len(leftLayout)] {
+		vecs = append(vecs, gatherVec(v, lIdx))
+	}
+	if !semiShape {
+		for _, v := range right.Vecs[:len(rightLayout)] {
+			vecs = append(vecs, gatherVec(v, rIdx))
+		}
+	}
+	return &Batch{Cols: outCols, Vecs: vecs, n: len(lIdx)}, true, nil
+}

@@ -94,6 +94,7 @@ func All() []Table {
 		E21ParallelExecution(),
 		E22AnalyzeFeedback(),
 		E23Robustness(),
+		E24Vectorized(),
 	}
 }
 

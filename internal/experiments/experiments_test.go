@@ -13,8 +13,8 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		t.Skip("experiments are slow; skipped under -short")
 	}
 	tables := All()
-	if len(tables) != 23 {
-		t.Fatalf("expected 23 experiments, got %d", len(tables))
+	if len(tables) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
@@ -110,6 +110,18 @@ func TestHeadlineInvariants(t *testing.T) {
 	e15 := E15ExpensivePredicates()
 	if pen := atof(t, strings.TrimSuffix(e15.Rows[1][4], "x")); pen < 100 {
 		t.Errorf("E15: expected a large pushdown penalty, got %v", pen)
+	}
+
+	// E24: vectorized results must be identical to row mode on every
+	// workload, and the scan+filter kernels must actually win.
+	e24 := E24Vectorized()
+	for _, r := range e24.Rows {
+		if r[len(r)-1] != "true" {
+			t.Errorf("E24: %s not bit-identical to row mode: %v", r[0], r)
+		}
+	}
+	if sp := atof(t, e24.Rows[0][7]); sp <= 1 {
+		t.Errorf("E24: scan+filter shows no vectorized speedup: %v", e24.Rows[0])
 	}
 
 	// E19: the last row's regret must exceed 10x.

@@ -24,6 +24,9 @@ type NodeMetrics struct {
 	// Batches counts morsel batches fanned out by the parallel paths
 	// (0 means the node ran serially).
 	Batches int64
+	// Vectorized reports that the node ran on the columnar batch path
+	// (typed kernels over column vectors) rather than row at a time.
+	Vectorized bool
 	// WallNanos is inclusive wall-clock time: the node plus its inputs.
 	WallNanos int64
 	// PeakMemRows is the peak number of buffered rows the node held at once
@@ -155,6 +158,9 @@ func formatAnalyzeNode(sb *strings.Builder, p Plan, md *logical.Metadata, rm *Ru
 		}
 		if m.Batches > 0 {
 			fmt.Fprintf(sb, " batches=%d", m.Batches)
+		}
+		if m.Vectorized {
+			sb.WriteString(" vectorized=true")
 		}
 		if m.PeakMemRows > 0 {
 			fmt.Fprintf(sb, " mem_rows=%d", m.PeakMemRows)

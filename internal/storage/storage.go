@@ -100,6 +100,31 @@ func (t *Table) Row(id int) datum.Row {
 	return t.rows[id]
 }
 
+// FillColumnRange appends column ord of rows [lo, hi) to v — the
+// batch-granular scan API of the vectorized execution path: one lock
+// acquisition and one column fill per morsel instead of a row-at-a-time
+// iterator. Values whose dynamic kind disagrees with v's kind (numeric
+// coercion allows that) switch v to its boxed representation, so the fill
+// never fails.
+func (t *Table) FillColumnRange(ord, lo, hi int, v *datum.Vec) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows[lo:hi] {
+		v.AppendD(r[ord])
+	}
+}
+
+// FillColumnIDs appends column ord of the rows with the given ids to v, in
+// id order — the gather form of the batch scan API used by index scans and
+// late materialization of filtered scans.
+func (t *Table) FillColumnIDs(ord int, ids []int, v *datum.Vec) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, id := range ids {
+		v.AppendD(t.rows[id][ord])
+	}
+}
+
 // SortBy physically reorders the heap by the given sort spec — used to
 // realize a clustered index.
 func (t *Table) SortBy(spec []datum.SortSpec) {

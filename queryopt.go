@@ -105,7 +105,24 @@ type Options struct {
 	MemBudget int64
 	// TempDir is where spill files are created (empty = os.TempDir()).
 	TempDir string
+	// Vectorize selects the columnar batch execution path. The default
+	// (VectorizeAuto) runs operators with typed kernels over column vectors
+	// and falls back to the row engine for the rest; VectorizeOff forces row
+	// execution everywhere. Results are identical either way.
+	Vectorize VectorizeMode
 }
+
+// VectorizeMode selects between the columnar batch path and pure row
+// execution.
+type VectorizeMode uint8
+
+const (
+	// VectorizeAuto (the default) vectorizes operators whose predicates,
+	// projections and aggregates all have typed kernels.
+	VectorizeAuto VectorizeMode = iota
+	// VectorizeOff forces row-at-a-time execution.
+	VectorizeOff
+)
 
 // ErrMemoryBudgetExceeded is returned (wrapped, match with errors.Is) by
 // queries whose working memory cannot fit Options.MemBudget even after
@@ -565,6 +582,7 @@ func (e *Engine) newExecCtx(ctx context.Context, meta *logical.Metadata) *exec.C
 	ec.Mem = exec.NewMemAccount(e.opts.MemBudget)
 	ec.TempDir = e.opts.TempDir
 	ec.Faults = e.faults
+	ec.Vectorize = e.opts.Vectorize != VectorizeOff
 	return ec
 }
 
