@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench bench-smoke
+.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench bench-smoke
 
 build:
 	go build ./...
@@ -38,11 +38,20 @@ robustness-bench:
 vectorized-bench:
 	go run ./cmd/benchharness vectorized
 
+# Concurrent serving sweep: exec-literal vs prepared-reoptimize vs
+# prepared-cached at 1/8/64/256 sessions; writes BENCH_serving.json. E25 at
+# full size.
+serving-bench:
+	go run ./cmd/benchharness serving
+
 # bench-smoke is the fast perf gate: a reduced-size E24 run (row-vs-vectorized
-# must still report identical results) plus the executor suite under the race
-# detector. CI runs this on every push; it finishes in well under a minute.
+# must still report identical results), a tiny E25 serving sweep under the
+# race detector (all three modes must still report identical results), and
+# the executor suite under -race. CI runs this on every push; it finishes in
+# well under a minute.
 bench-smoke:
 	go run ./cmd/benchharness vectorized 20000
+	GOMAXPROCS=4 go run -race ./cmd/benchharness serving 1000 8
 	go test -race -count=1 ./internal/exec/...
 
 # Fault-injection, cancellation, spill and goroutine-leak suites under the

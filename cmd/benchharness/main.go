@@ -13,6 +13,10 @@
 //	go run ./cmd/benchharness vectorized [rows]
 //	                                     # row-vs-vectorized execution of identical
 //	                                     # plans → BENCH_vectorized.json
+//	go run ./cmd/benchharness serving [rows] [perSession]
+//	                                     # concurrent sessions: exec-literal vs
+//	                                     # prepared-reoptimize vs prepared-cached
+//	                                     # → BENCH_serving.json
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/servingbench"
 )
 
 // parallelBench runs the large serial-vs-parallel comparison and writes
@@ -123,8 +128,57 @@ func vectorizedBench(rows int) error {
 	return nil
 }
 
+// servingBench runs the concurrent serving sweep and writes
+// BENCH_serving.json: qps and latency percentiles at 1/8/64/256 sessions for
+// plain Exec, prepared statements without the plan cache, and prepared
+// statements with it — plus the cache hit rate and the bit-identical flag.
+func servingBench(rows, perSession int) error {
+	res, err := servingbench.Run(rows, perSession, []int{1, 8, 64, 256})
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		fmt.Printf("%-20s sessions=%-4d qps=%-9.0f p50=%.3fms  p99=%.3fms  hit_rate=%.1f%%  identical=%v\n",
+			p.Mode, p.Sessions, p.QPS, p.P50Ms, p.P99Ms, p.HitRate*100, p.Identical)
+	}
+	fmt.Printf("gomaxprocs=%d cpus=%d\n", res.GOMAXPROCS, res.CPUs)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_serving.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_serving.json")
+	return nil
+}
+
 func main() {
 	start := time.Now()
+	if len(os.Args) > 1 && os.Args[1] == "serving" {
+		// Default table size keeps queries short (OLTP-style): the bench
+		// measures dispatch overhead — parse + optimize versus re-bind — and
+		// on long scans that overhead amortizes to nothing.
+		rows, perSession := 2000, 60
+		if len(os.Args) > 2 {
+			if _, err := fmt.Sscanf(os.Args[2], "%d", &rows); err != nil {
+				fmt.Fprintf(os.Stderr, "bad row count %q: %v\n", os.Args[2], err)
+				os.Exit(1)
+			}
+		}
+		if len(os.Args) > 3 {
+			if _, err := fmt.Sscanf(os.Args[3], "%d", &perSession); err != nil {
+				fmt.Fprintf(os.Stderr, "bad per-session count %q: %v\n", os.Args[3], err)
+				os.Exit(1)
+			}
+		}
+		if err := servingBench(rows, perSession); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "vectorized" {
 		rows := 150000
 		if len(os.Args) > 2 {

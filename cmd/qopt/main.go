@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	queryopt "repro"
@@ -30,11 +32,21 @@ func main() {
 	memBudget := flag.Int64("membudget", 0, "per-query working-memory cap in bytes; operators spill to disk past it (0 = unlimited)")
 	vectorize := flag.Bool("vectorize", true, "columnar batch execution with typed kernels (operators without kernels fall back to rows)")
 	timeout := flag.Duration("timeout", 0, "per-statement deadline, e.g. 500ms or 10s (0 = none)")
+	sessions := flag.Int("sessions", 1, "with -e: run the statement concurrently from this many sessions and report qps")
+	planCache := flag.String("plancache", "on", "parameterized plan cache for prepared statements: on | off")
 	flag.Parse()
 
 	opts := queryopt.Options{UseMaterializedViews: *useMV, Parallelism: *par, MemBudget: *memBudget}
 	if !*vectorize {
 		opts.Vectorize = queryopt.VectorizeOff
+	}
+	switch strings.ToLower(*planCache) {
+	case "on", "":
+	case "off":
+		opts.PlanCacheSize = -1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -plancache %q (want on or off)\n", *planCache)
+		os.Exit(1)
 	}
 	switch strings.ToLower(*optimizer) {
 	case "systemr", "system-r":
@@ -67,10 +79,20 @@ func main() {
 	}
 
 	if *stmt != "" {
+		if *sessions > 1 {
+			if !runConcurrent(eng, *stmt, *sessions, *timeout) {
+				os.Exit(1)
+			}
+			return
+		}
 		if !runStmt(eng, *stmt, *analyzeAll, *timeout) {
 			os.Exit(1)
 		}
 		return
+	}
+	if *sessions > 1 {
+		fmt.Fprintln(os.Stderr, "-sessions requires -e (one statement run concurrently)")
+		os.Exit(1)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -91,6 +113,76 @@ func main() {
 			fmt.Print("qopt> ")
 		}
 	}
+}
+
+// runConcurrent executes one statement from n concurrent sessions (10
+// executions each) against the shared engine and reports throughput, latency
+// percentiles and plan-cache effectiveness. SELECTs go through Prepare so the
+// parameterized plan cache is exercised; other statements use plain Exec.
+func runConcurrent(eng *queryopt.Engine, stmt string, n int, timeout time.Duration) bool {
+	const perSession = 10
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var prep *queryopt.Stmt
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "SELECT") {
+		if p, err := eng.Prepare(stmt); err == nil && p.NumParams() == 0 {
+			prep = p
+		}
+	}
+	lats := make([][]float64, n)
+	errs := make([]error, n)
+	var rowCount int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSession; i++ {
+				t0 := time.Now()
+				var res *queryopt.Result
+				var err error
+				if prep != nil {
+					res, err = prep.ExecContext(ctx)
+				} else {
+					res, err = eng.ExecContext(ctx, stmt)
+				}
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				lats[g] = append(lats[g], time.Since(t0).Seconds())
+				if g == 0 && i == 0 {
+					rowCount = len(res.Rows)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return false
+		}
+	}
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 { return all[int(p*float64(len(all)-1))] * 1000 }
+	fmt.Printf("%d sessions x %d queries: %.0f qps, p50=%.3fms p99=%.3fms (%d rows each, %.3fs wall)\n",
+		n, perSession, float64(len(all))/wall, pct(0.50), pct(0.99), rowCount, wall)
+	st := eng.PlanCacheStats()
+	if st.Hits+st.Misses > 0 {
+		fmt.Printf("plan cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	}
+	return true
 }
 
 func isTerminalish() bool {

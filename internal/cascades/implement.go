@@ -260,6 +260,8 @@ func (o *Optimizer) scanPaths(scan *logical.Scan, filters []logical.Scalar, outR
 	scanStats := o.Est.Stats(scan)
 	for _, ix := range scan.Table.Indexes {
 		var eqKey datum.Row
+		var eqParams []int
+		anyParam := false
 		matched := map[logical.Scalar]bool{}
 		sel := 1.0
 		for _, ord := range ix.Cols {
@@ -272,8 +274,12 @@ func (o *Optimizer) scanPaths(scan *logical.Scan, filters []logical.Scalar, outR
 				if matched[f] {
 					continue
 				}
-				if v, ok := constEqScalar(f, col); ok {
+				if v, prm, ok := constEqScalar(f, col); ok {
 					eqKey = append(eqKey, v)
+					eqParams = append(eqParams, prm)
+					if prm != 0 {
+						anyParam = true
+					}
 					matched[f] = true
 					sel *= o.Est.Selectivity(f, scanStats)
 					found = true
@@ -283,6 +289,9 @@ func (o *Optimizer) scanPaths(scan *logical.Scan, filters []logical.Scalar, outR
 			if !found {
 				break
 			}
+		}
+		if !anyParam {
+			eqParams = nil
 		}
 		matchRows := tableRows * sel
 		var residual []logical.Scalar
@@ -300,7 +309,8 @@ func (o *Optimizer) scanPaths(scan *logical.Scan, filters []logical.Scalar, outR
 				Cost: o.Model.IndexScan(matchRows, tableRows, tablePages, ix.Clustered) + o.Model.Filter(matchRows, len(residual)),
 			},
 			Table: scan.Table, Index: ix, Binding: scan.Binding,
-			Cols: scan.Cols, ColOrds: ords, EqKey: eqKey, Filter: residual,
+			Cols: scan.Cols, ColOrds: ords, EqKey: eqKey, EqKeyParams: eqParams,
+			Filter: residual,
 		})
 	}
 	return out
@@ -315,22 +325,24 @@ func colForOrd(o *Optimizer, scan *logical.Scan, ord int) (logical.ColumnID, boo
 	return 0, false
 }
 
-func constEqScalar(p logical.Scalar, col logical.ColumnID) (datum.D, bool) {
+// constEqScalar extracts col = const, returning the constant's value and the
+// parameter ordinal behind it (0 for a plain literal).
+func constEqScalar(p logical.Scalar, col logical.ColumnID) (datum.D, int, bool) {
 	cmp, ok := p.(*logical.Cmp)
 	if !ok || cmp.Op != logical.CmpEq {
-		return datum.Null, false
+		return datum.Null, 0, false
 	}
 	if c, ok := cmp.L.(*logical.Col); ok && c.ID == col {
 		if k, ok := cmp.R.(*logical.Const); ok {
-			return k.Val, true
+			return k.Val, k.Param, true
 		}
 	}
 	if c, ok := cmp.R.(*logical.Col); ok && c.ID == col {
 		if k, ok := cmp.L.(*logical.Const); ok {
-			return k.Val, true
+			return k.Val, k.Param, true
 		}
 	}
-	return datum.Null, false
+	return datum.Null, 0, false
 }
 
 // implementJoin generates NL, hash and merge alternatives, ordering them by

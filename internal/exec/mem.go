@@ -41,6 +41,10 @@ type MemAccount struct {
 	used   atomic.Int64
 	peak   atomic.Int64
 	budget int64
+	// parent, when set, is a shared pool account every reservation is also
+	// charged to: per-query accounts chain to the engine-wide total so that
+	// many concurrent queries cannot collectively exceed the server budget.
+	parent *MemAccount
 }
 
 // NewMemAccount returns an account capped at budget bytes (<= 0 = unlimited).
@@ -49,6 +53,15 @@ func NewMemAccount(budget int64) *MemAccount {
 		budget = 0
 	}
 	return &MemAccount{budget: budget}
+}
+
+// NewMemAccountWithParent returns an account capped at budget bytes whose
+// reservations are additionally charged to (and bounded by) parent. A nil
+// parent behaves like NewMemAccount.
+func NewMemAccountWithParent(budget int64, parent *MemAccount) *MemAccount {
+	a := NewMemAccount(budget)
+	a.parent = parent
+	return a
 }
 
 // Budget returns the configured cap in bytes (0 = unlimited).
@@ -104,9 +117,18 @@ func (a *MemAccount) Grow(op string, n int64) error {
 		}
 		if a.used.CompareAndSwap(cur, next) {
 			a.notePeak(next)
-			return nil
+			break
 		}
 	}
+	if a.parent != nil {
+		if err := a.parent.Grow(op, n); err != nil {
+			// The pool is exhausted: roll the local reservation back so the
+			// failed query releases exactly what it still holds.
+			a.used.Add(-n)
+			return err
+		}
+	}
+	return nil
 }
 
 // GrowFloor reserves n more bytes for an operator that has already reserved
@@ -121,13 +143,26 @@ func (a *MemAccount) GrowFloor(op string, n, have, floor int64) error {
 		return nil
 	}
 	if have+n <= floor {
-		a.notePeak(a.used.Add(n))
+		a.forceGrow(n)
 		return nil
 	}
 	return a.Grow(op, n)
 }
 
-// Shrink releases n bytes previously reserved with Grow.
+// forceGrow charges n bytes unconditionally, on this account and up the
+// parent chain — floor grants must land in the shared pool's books too, so
+// the documented overshoot (at most admitted-queries × floor) stays visible
+// in Used/Peak rather than silently uncounted.
+func (a *MemAccount) forceGrow(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.notePeak(a.used.Add(n))
+	a.parent.forceGrow(n)
+}
+
+// Shrink releases n bytes previously reserved with Grow, on this account and
+// up the parent chain.
 func (a *MemAccount) Shrink(n int64) {
 	if a == nil || n <= 0 {
 		return
@@ -137,6 +172,7 @@ func (a *MemAccount) Shrink(n int64) {
 		// subsequent queries on a shared account.
 		a.used.Store(0)
 	}
+	a.parent.Shrink(n)
 }
 
 // NotePeak records a transient high-water observation of n bytes above the

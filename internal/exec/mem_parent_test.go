@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMemAccountParentCharging(t *testing.T) {
+	pool := NewMemAccount(1000)
+	q1 := NewMemAccountWithParent(600, pool)
+	q2 := NewMemAccountWithParent(600, pool)
+
+	if err := q1.Grow("op", 500); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Used() != 500 {
+		t.Fatalf("pool.Used = %d, want 500", pool.Used())
+	}
+	// q2 fits its own budget but not the pool remainder: typed error, and the
+	// failed local reservation is rolled back.
+	err := q2.Grow("op", 600)
+	if !errors.Is(err, ErrMemoryBudgetExceeded) {
+		t.Fatalf("pool-exhausted Grow = %v, want ErrMemoryBudgetExceeded", err)
+	}
+	if q2.Used() != 0 {
+		t.Fatalf("q2.Used after failed Grow = %d, want 0 (rolled back)", q2.Used())
+	}
+	// A smaller reservation still fits.
+	if err := q2.Grow("op", 400); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Used() != 900 {
+		t.Fatalf("pool.Used = %d, want 900", pool.Used())
+	}
+	// Shrink releases on both levels.
+	q1.Shrink(500)
+	if pool.Used() != 400 || q1.Used() != 0 {
+		t.Fatalf("after shrink: pool=%d q1=%d", pool.Used(), q1.Used())
+	}
+}
+
+func TestMemAccountFloorChargesParent(t *testing.T) {
+	pool := NewMemAccount(100)
+	q := NewMemAccountWithParent(100, pool)
+	// Floor grants succeed even past the pool budget (bounded overshoot) but
+	// must still be visible in the pool's books.
+	if err := q.GrowFloor("op", 150, 0, 200); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Used() != 150 || q.Used() != 150 {
+		t.Fatalf("floor grant not charged through: pool=%d q=%d", pool.Used(), q.Used())
+	}
+	// Beyond the floor the pool budget applies again.
+	if err := q.GrowFloor("op", 100, 150, 200); !errors.Is(err, ErrMemoryBudgetExceeded) {
+		t.Fatalf("beyond-floor GrowFloor = %v, want ErrMemoryBudgetExceeded", err)
+	}
+	q.Shrink(150)
+	if pool.Used() != 0 {
+		t.Fatalf("pool.Used after release = %d, want 0", pool.Used())
+	}
+}

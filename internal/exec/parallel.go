@@ -47,9 +47,20 @@ const minParallelRows = 2 * MorselSize
 type Pool struct {
 	size int
 	jobs chan func()
-	once sync.Once
 	wg   sync.WaitGroup
+
+	// mu serializes submits against Close so a submit can never hit a closed
+	// channel: senders hold mu across the channel send, and Close flips
+	// closed before closing the channel. Late submitters get ErrPoolClosed
+	// instead of a panic.
+	mu     sync.Mutex
+	closed bool
 }
+
+// ErrPoolClosed is returned by submissions that arrive after Close. Engines
+// that share one pool across queries surface it to callers racing shutdown;
+// match with errors.Is.
+var ErrPoolClosed = errors.New("exec: worker pool closed")
 
 // NewPool starts a pool with the given number of workers (<= 0 means
 // GOMAXPROCS).
@@ -74,14 +85,32 @@ func NewPool(size int) *Pool {
 func (p *Pool) Size() int { return p.size }
 
 // Close releases the pool's workers and blocks until they have all exited,
-// so callers can assert the goroutine count is back to baseline. Safe to
-// call more than once.
+// so callers can assert the goroutine count is back to baseline. In-flight
+// submissions (already holding the submit lock) drain to a worker first;
+// submissions arriving after Close get ErrPoolClosed. Safe to call more
+// than once.
 func (p *Pool) Close() {
-	p.once.Do(func() { close(p.jobs) })
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
 	p.wg.Wait()
 }
 
-func (p *Pool) submit(f func()) { p.jobs <- f }
+// submit hands f to a worker, blocking until one accepts it. Holding mu
+// across the send cannot deadlock Close: workers keep draining jobs until
+// the channel closes, and the channel only closes under this same lock.
+func (p *Pool) submit(f func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.jobs <- f
+	return nil
+}
 
 // barrier is the shared abort state of one runWorkers call: the first
 // failing worker raises it, and the others stop claiming work at their next
@@ -142,7 +171,7 @@ func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 		wc := c.child()
 		wc.bar = bar
 		children[w] = wc
-		pool.submit(func() {
+		if err := pool.submit(func() {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -154,7 +183,15 @@ func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 				errs[w] = err
 				bar.abort()
 			}
-		})
+		}); err != nil {
+			// Pool closed under us (engine shutdown racing a query): the
+			// worker never ran, so balance the barrier ourselves and let the
+			// typed error surface. Earlier workers that did start see the
+			// abort flag at their next morsel boundary.
+			errs[w] = err
+			bar.abort()
+			wg.Done()
+		}
 	}
 	wg.Wait()
 	for w, wc := range children {

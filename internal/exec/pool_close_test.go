@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Close racing active submitters must drain cleanly: jobs already past the
+// submit lock run to completion, and late submitters get the typed error
+// instead of a send-on-closed-channel panic.
+func TestPoolCloseDrainsInFlightSubmits(t *testing.T) {
+	p := NewPool(2)
+	const jobs = 64
+	var ran, rejected int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			err := p.submit(func() {
+				time.Sleep(100 * time.Microsecond)
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			})
+			if err != nil {
+				if !errors.Is(err, ErrPoolClosed) {
+					t.Errorf("submit error = %v, want ErrPoolClosed", err)
+				}
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond) // let some submits land before Close
+	p.Close()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if ran+rejected != jobs {
+		t.Fatalf("accounted %d+%d jobs, want %d", ran, rejected, jobs)
+	}
+	// After Close returns, every submission must be rejected.
+	if err := p.submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-Close submit error = %v, want ErrPoolClosed", err)
+	}
+}
+
+// runWorkers on a closed pool must return the typed error without hanging on
+// its barrier (the wg.Done compensation path).
+func TestRunWorkersOnClosedPool(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	c := NewCtx(nil, nil)
+	c.Pool = p
+	c.Parallelism = 2
+	done := make(chan error, 1)
+	go func() {
+		done <- c.runWorkers(4, func(w int, wc *Ctx) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("runWorkers error = %v, want ErrPoolClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runWorkers hung on a closed pool")
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic or hang
+}

@@ -17,10 +17,11 @@ const maxViewDepth = 16
 // (the unfolding of §4.2.1); normalization and the rewrite package then merge
 // or keep them as the optimizer decides.
 type Builder struct {
-	cat   *catalog.Catalog
-	md    *Metadata
-	depth int
-	udfs  map[string]udpTemplate
+	cat    *catalog.Catalog
+	md     *Metadata
+	depth  int
+	udfs   map[string]udpTemplate
+	params []datum.D
 }
 
 // udpTemplate describes a registered user-defined predicate (§7.2).
@@ -34,6 +35,12 @@ type udpTemplate struct {
 func NewBuilder(cat *catalog.Catalog) *Builder {
 	return &Builder{cat: cat, md: NewMetadata()}
 }
+
+// BindParams supplies values for the statement's parameter placeholders:
+// `$n` resolves to vals[n-1]. Each placeholder becomes a Const tagged with
+// its ordinal, so the physical plan built from this query can later be
+// re-bound to different values (physical.BindParams) without re-optimizing.
+func (b *Builder) BindParams(vals []datum.D) { b.params = vals }
 
 // RegisterUDP makes a user-defined predicate callable from SQL. The declared
 // per-tuple cost and selectivity drive the §7.2 optimizations; fn supplies
@@ -504,6 +511,11 @@ func (b *Builder) buildScalar(e sql.Expr, sc *scope) (Scalar, error) {
 	switch t := e.(type) {
 	case *sql.Lit:
 		return &Const{Val: t.Val}, nil
+	case *sql.Param:
+		if t.Ord < 1 || t.Ord > len(b.params) {
+			return nil, fmt.Errorf("logical: parameter $%d not bound (%d value(s) supplied)", t.Ord, len(b.params))
+		}
+		return &Const{Val: b.params[t.Ord-1], Param: t.Ord}, nil
 	case *sql.ColRef:
 		if sc.ambiguous(t.Table, t.Name) {
 			return nil, fmt.Errorf("logical: ambiguous column %q", t.String())
@@ -864,6 +876,11 @@ func (b *Builder) buildGroupedScalar(e sql.Expr, sc *scope, post map[string]Colu
 	switch t := e.(type) {
 	case *sql.Lit:
 		return &Const{Val: t.Val}, nil
+	case *sql.Param:
+		if t.Ord < 1 || t.Ord > len(b.params) {
+			return nil, fmt.Errorf("logical: parameter $%d not bound (%d value(s) supplied)", t.Ord, len(b.params))
+		}
+		return &Const{Val: b.params[t.Ord-1], Param: t.Ord}, nil
 	case *sql.BinExpr:
 		l, err := b.buildGroupedScalar(t.L, sc, post)
 		if err != nil {

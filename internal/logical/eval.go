@@ -274,9 +274,12 @@ func likeMatch(s, p string) bool {
 }
 
 // EvalConst evaluates s when it references no columns and contains no
-// subqueries; ok is false otherwise.
+// subqueries; ok is false otherwise. Scalars containing parameter-tagged
+// constants also refuse: folding `$1 + 1` would bake the probe value into
+// the result and lose the parameter's identity, breaking plan-cache
+// re-binding.
 func EvalConst(s Scalar) (datum.D, bool) {
-	if !ScalarCols(s).Empty() || HasSubquery(s) || hasUDP(s) {
+	if !ScalarCols(s).Empty() || HasSubquery(s) || hasUDP(s) || HasParam(s) {
 		return datum.Null, false
 	}
 	v, err := Eval(s, &EvalContext{})
@@ -284,6 +287,17 @@ func EvalConst(s Scalar) (datum.D, bool) {
 		return datum.Null, false
 	}
 	return v, true
+}
+
+// HasParam reports whether s contains a parameter-tagged constant.
+func HasParam(s Scalar) bool {
+	found := false
+	VisitScalar(s, func(sc Scalar) {
+		if c, ok := sc.(*Const); ok && c.Param != 0 {
+			found = true
+		}
+	})
+	return found
 }
 
 func hasUDP(s Scalar) bool {

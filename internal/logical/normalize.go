@@ -75,7 +75,9 @@ func normalizeNode(e RelExpr, opts NormalizeOptions, changed *bool) RelExpr {
 		// Drop always-true filters.
 		var kept []Scalar
 		for _, f := range t.Filters {
-			if c, ok := f.(*Const); ok && !c.Val.IsNull() && c.Val.Kind() == datum.KindBool && c.Val.Bool() {
+			// Param-tagged constants are kept: a TRUE binding is only true for
+			// this probe, and the filter must survive for re-binding.
+			if c, ok := f.(*Const); ok && c.Param == 0 && !c.Val.IsNull() && c.Val.Kind() == datum.KindBool && c.Val.Bool() {
 				*changed = true
 				continue
 			}

@@ -1,0 +1,82 @@
+package logical
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/sql"
+)
+
+// buildParams builds a query with parameter placeholders bound to vals.
+func buildParams(t *testing.T, q string, vals ...datum.D) *Query {
+	t.Helper()
+	c := paperCatalog(t)
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	b := NewBuilder(c)
+	b.BindParams(vals)
+	query, err := b.Build(sel)
+	if err != nil {
+		t.Fatalf("build %q: %v", q, err)
+	}
+	return query
+}
+
+// countParams walks every scalar in the tree counting param-tagged consts.
+func countParams(e RelExpr) int {
+	n := 0
+	VisitRel(e, func(r RelExpr) {
+		for _, s := range Scalars(r) {
+			VisitScalar(s, func(sc Scalar) {
+				if c, ok := sc.(*Const); ok && c.Param != 0 {
+					n++
+				}
+			})
+		}
+	})
+	return n
+}
+
+func TestParamBindingSurvivesNormalize(t *testing.T) {
+	q := buildParams(t, `SELECT name FROM Emp WHERE sal > $1 AND did = $2`,
+		datum.NewFloat(100), datum.NewInt(7))
+	NormalizeQuery(q, DefaultNormalize())
+	if got := countParams(q.Root); got != 2 {
+		t.Fatalf("param-tagged consts after normalize = %d, want 2", got)
+	}
+}
+
+func TestParamArithmeticNotFolded(t *testing.T) {
+	// $1 + 1 must not fold into a derived constant: the probe value would be
+	// baked into the plan and re-binding would silently use it.
+	q := buildParams(t, `SELECT name FROM Emp WHERE sal > $1 + 1`, datum.NewFloat(100))
+	NormalizeQuery(q, DefaultNormalize())
+	if got := countParams(q.Root); got != 1 {
+		t.Fatalf("param-tagged consts after normalize = %d, want 1 (fold would erase it)", got)
+	}
+}
+
+func TestParamTrueFilterNotDropped(t *testing.T) {
+	// A boolean parameter bound to TRUE is only true for this probe; the
+	// filter must survive normalization for re-binding.
+	q := buildParams(t, `SELECT name FROM Emp WHERE $1`, datum.NewBool(true))
+	NormalizeQuery(q, DefaultNormalize())
+	if got := countParams(q.Root); got != 1 {
+		t.Fatalf("param TRUE filter was dropped (tagged consts = %d, want 1)", got)
+	}
+}
+
+func TestUnboundParamErrors(t *testing.T) {
+	c := paperCatalog(t)
+	sel, err := sql.ParseSelect(`SELECT name FROM Emp WHERE sal > $2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(c)
+	b.BindParams([]datum.D{datum.NewFloat(1)})
+	if _, err := b.Build(sel); err == nil {
+		t.Fatal("expected unbound-parameter error for $2 with one value")
+	}
+}

@@ -19,11 +19,27 @@ type Col struct{ ID ColumnID }
 func (*Col) scalar()          {}
 func (c *Col) String() string { return fmt.Sprintf("@%d", int(c.ID)) }
 
-// Const is a literal value.
-type Const struct{ Val datum.D }
+// Const is a literal value. Param, when non-zero, tags the constant as the
+// binding of statement parameter $Param: Val then holds the value the plan
+// was built (probed) at, and plan-cache execution substitutes fresh bindings
+// for it (physical.BindParams). Param-tagged constants are never folded into
+// derived constants — EvalConst refuses scalars containing them — so the tag
+// survives normalization and optimization into the physical plan.
+type Const struct {
+	Val   datum.D
+	Param int
+}
 
-func (*Const) scalar()          {}
-func (c *Const) String() string { return c.Val.String() }
+func (*Const) scalar() {}
+func (c *Const) String() string {
+	if c.Param != 0 {
+		// The tag is part of the constant's identity: memo fingerprints and
+		// canonical forms must never conflate a parameter binding with an
+		// equal-valued plain constant.
+		return fmt.Sprintf("$%d", c.Param)
+	}
+	return c.Val.String()
+}
 
 // CmpOp enumerates comparison operators.
 type CmpOp uint8

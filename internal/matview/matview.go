@@ -107,6 +107,12 @@ func canonicalPred(p logical.Scalar, names map[logical.ColumnID]string) (string,
 			}
 			return n
 		case *logical.Const:
+			if t.Param != 0 {
+				// A parameter's probe value must not match a view constant:
+				// the match would only hold for this one binding.
+				ok = false
+				return "?"
+			}
 			return t.Val.String()
 		case *logical.Cmp:
 			l, r := render(t.L), render(t.R)

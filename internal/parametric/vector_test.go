@@ -1,0 +1,125 @@
+package parametric
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+)
+
+func ints(vs ...int64) []datum.D {
+	out := make([]datum.D, len(vs))
+	for i, v := range vs {
+		out[i] = datum.NewInt(v)
+	}
+	return out
+}
+
+func TestDiagramAddExtendsSameSignature(t *testing.T) {
+	d := NewDiagram(2)
+	if _, err := d.Add(ints(10, 100), nil, nil, "sigA", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add(ints(30, 50), nil, nil, "sigA", 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPlans() != 1 {
+		t.Fatalf("same-signature add split into %d boxes", d.NumPlans())
+	}
+	// The box now covers the bounding rectangle of both probes.
+	if b := d.Find(ints(20, 75)); b == nil || b.Signature != "sigA" {
+		t.Fatalf("Find inside merged box = %v", b)
+	}
+	// A new signature gets its own box.
+	if _, err := d.Add(ints(1000, 1), nil, nil, "sigB", 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPlans() != 2 {
+		t.Fatalf("distinct-signature add merged: %d boxes", d.NumPlans())
+	}
+	if b := d.Find(ints(1000, 1)); b == nil || b.Signature != "sigB" {
+		t.Fatalf("Find at sigB probe = %v", b)
+	}
+}
+
+func TestDiagramOutOfRangeFallsBackToNearest(t *testing.T) {
+	d := NewDiagram(2)
+	d.Add(ints(10, 10), nil, nil, "low", 1)
+	d.Add(ints(100, 100), nil, nil, "high", 1)
+	d.Add(ints(100, 10), nil, nil, "mixed", 1)
+
+	// Outside every box entirely.
+	if b := d.Find(ints(-5, 500)); b != nil {
+		t.Fatalf("Find outside all boxes = %v, want nil", b)
+	}
+	// Nearest prefers the box matching the most dimensions: (100, 500)
+	// matches "high" and "mixed" on dim 0 only — tie goes to the earlier.
+	if b := d.Nearest(ints(100, 500)); b == nil || b.Signature != "high" {
+		t.Fatalf("Nearest = %v, want high", b)
+	}
+	// (100, 10) exactly hits "mixed" on both dims.
+	if b := d.Nearest(ints(100, 10)); b == nil || b.Signature != "mixed" {
+		t.Fatalf("Nearest = %v, want mixed", b)
+	}
+	// Matching no dimension still returns some box (never nil).
+	if b := d.Nearest(ints(-5, 500)); b == nil {
+		t.Fatal("Nearest on fully-outside vector returned nil")
+	}
+}
+
+func TestDiagramNullParameters(t *testing.T) {
+	d := NewDiagram(2)
+	d.Add([]datum.D{datum.Null, datum.NewInt(5)}, nil, nil, "withnull", 1)
+	// NULL compares equal to NULL: the point box contains the same vector.
+	if b := d.Find([]datum.D{datum.Null, datum.NewInt(5)}); b == nil || b.Signature != "withnull" {
+		t.Fatalf("Find with NULL binding = %v", b)
+	}
+	// A non-NULL value in the NULL dimension is outside the point box.
+	if b := d.Find([]datum.D{datum.NewInt(1), datum.NewInt(5)}); b != nil {
+		t.Fatalf("Find(1, 5) = %v, want nil", b)
+	}
+	// Extending the same signature with a non-NULL binding widens the box:
+	// NULL sorts before every value, so [NULL, 1] covers both.
+	d.Add([]datum.D{datum.NewInt(1), datum.NewInt(5)}, nil, nil, "withnull", 1)
+	if d.NumPlans() != 1 {
+		t.Fatalf("NULL + non-NULL same signature split into %d boxes", d.NumPlans())
+	}
+	if b := d.Find([]datum.D{datum.Null, datum.NewInt(5)}); b == nil {
+		t.Fatal("widened box lost its NULL corner")
+	}
+}
+
+func TestDiagramArityMismatch(t *testing.T) {
+	d := NewDiagram(2)
+	if _, err := d.Add(ints(1), nil, nil, "s", 1); err == nil {
+		t.Fatal("Add with wrong arity succeeded")
+	}
+	d.Add(ints(1, 2), nil, nil, "s", 1)
+	if b := d.Find(ints(1)); b != nil {
+		t.Fatalf("Find with wrong arity = %v, want nil", b)
+	}
+	if b := d.Nearest(ints(1)); b != nil {
+		t.Fatalf("Nearest with wrong arity = %v, want nil", b)
+	}
+}
+
+// The legacy single-marker diagram must clamp out-of-range values to the
+// boundary ranges (choose-plan dispatch never fails on unseen bindings).
+func TestRangeForClampsOutOfRange(t *testing.T) {
+	dp := &DynamicPlan{Ranges: []PlanRange{
+		{Lo: datum.NewInt(10), Hi: datum.NewInt(20), Signature: "a"},
+		{Lo: datum.NewInt(30), Hi: datum.NewInt(40), Signature: "b"},
+	}}
+	if r := dp.rangeFor(datum.NewInt(-100)); r.Signature != "a" {
+		t.Fatalf("below all ranges → %s, want a", r.Signature)
+	}
+	if r := dp.rangeFor(datum.NewInt(9999)); r.Signature != "b" {
+		t.Fatalf("above all ranges → %s, want b", r.Signature)
+	}
+	if r := dp.rangeFor(datum.NewInt(35)); r.Signature != "b" {
+		t.Fatalf("inside second range → %s, want b", r.Signature)
+	}
+	// Between ranges: falls through to the last (nearest-boundary policy).
+	if r := dp.rangeFor(datum.NewInt(25)); r == nil {
+		t.Fatal("gap value returned nil")
+	}
+}

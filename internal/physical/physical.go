@@ -86,10 +86,16 @@ type IndexScan struct {
 	// EqKey, when non-nil, restricts the leading index column(s) to these
 	// constant values.
 	EqKey datum.Row
+	// EqKeyParams, when non-nil, parallels EqKey: entry i is the 1-based
+	// statement parameter whose binding produced EqKey[i], or 0 for a plain
+	// constant. BindParams substitutes fresh bindings through it.
+	EqKeyParams []int
 	// Lo/Hi bound the column after the equality prefix (or the leading
 	// column when EqKey is empty); NULL means unbounded.
 	Lo, Hi         datum.D
 	LoIncl, HiIncl bool
+	// LoParam/HiParam are the parameter ordinals behind Lo/Hi (0 = constant).
+	LoParam, HiParam int
 	// Filter holds residual predicates evaluated after the fetch.
 	Filter []logical.Scalar
 }

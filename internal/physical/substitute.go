@@ -1,0 +1,221 @@
+package physical
+
+import (
+	"repro/internal/datum"
+	"repro/internal/logical"
+)
+
+// BindParams returns a copy of p with every parameter-tagged constant
+// replaced by its fresh binding: binds[n-1] substitutes for parameter $n in
+// scalars (filters, join conditions, projections, aggregate arguments) and in
+// index-scan key fields (EqKey/Lo/Hi threaded through EqKeyParams and
+// Lo/HiParam). The input plan is never mutated — the copy shares only
+// immutable state (catalog pointers, column layouts, estimates) — so one
+// cached plan can be re-bound and executed by many goroutines concurrently.
+// Ordinals without a binding (n > len(binds)) keep their probe value.
+func BindParams(p Plan, binds []datum.D) Plan {
+	if len(binds) == 0 {
+		return p
+	}
+	b := binder(binds)
+	return b.plan(p)
+}
+
+type binder []datum.D
+
+func (b binder) datum(d datum.D, param int) datum.D {
+	if param >= 1 && param <= len(b) {
+		return b[param-1]
+	}
+	return d
+}
+
+func (b binder) scalar(s logical.Scalar) logical.Scalar {
+	return logical.RewriteScalar(s, func(sc logical.Scalar) logical.Scalar {
+		if k, ok := sc.(*logical.Const); ok && k.Param >= 1 && k.Param <= len(b) {
+			return &logical.Const{Val: b[k.Param-1], Param: k.Param}
+		}
+		return sc
+	})
+}
+
+func (b binder) scalars(ss []logical.Scalar) []logical.Scalar {
+	if ss == nil {
+		return nil
+	}
+	out := make([]logical.Scalar, len(ss))
+	for i, s := range ss {
+		out[i] = b.scalar(s)
+	}
+	return out
+}
+
+func (b binder) aggs(as []logical.AggItem) []logical.AggItem {
+	if as == nil {
+		return nil
+	}
+	out := make([]logical.AggItem, len(as))
+	for i, a := range as {
+		out[i] = a
+		if a.Arg != nil {
+			out[i].Arg = b.scalar(a.Arg)
+		}
+	}
+	return out
+}
+
+func (b binder) plan(p Plan) Plan {
+	switch t := p.(type) {
+	case *TableScan:
+		cp := *t
+		cp.Filter = b.scalars(t.Filter)
+		return &cp
+	case *IndexScan:
+		cp := *t
+		cp.Filter = b.scalars(t.Filter)
+		if len(t.EqKeyParams) > 0 {
+			cp.EqKey = append(datum.Row{}, t.EqKey...)
+			for i, ord := range t.EqKeyParams {
+				if i < len(cp.EqKey) {
+					cp.EqKey[i] = b.datum(cp.EqKey[i], ord)
+				}
+			}
+		}
+		cp.Lo = b.datum(t.Lo, t.LoParam)
+		cp.Hi = b.datum(t.Hi, t.HiParam)
+		return &cp
+	case *ValuesOp:
+		cp := *t
+		if t.Rows != nil {
+			rows := make([][]logical.Scalar, len(t.Rows))
+			for i, r := range t.Rows {
+				rows[i] = b.scalars(r)
+			}
+			cp.Rows = rows
+		}
+		return &cp
+	case *Filter:
+		cp := *t
+		cp.Input = b.plan(t.Input)
+		cp.Preds = b.scalars(t.Preds)
+		return &cp
+	case *Project:
+		cp := *t
+		cp.Input = b.plan(t.Input)
+		items := make([]logical.ProjectItem, len(t.Items))
+		for i, it := range t.Items {
+			items[i] = logical.ProjectItem{ID: it.ID, Expr: b.scalar(it.Expr)}
+		}
+		cp.Items = items
+		return &cp
+	case *Sort:
+		cp := *t
+		cp.Input = b.plan(t.Input)
+		return &cp
+	case *NLJoin:
+		cp := *t
+		cp.Left = b.plan(t.Left)
+		cp.Right = b.plan(t.Right)
+		cp.On = b.scalars(t.On)
+		return &cp
+	case *INLJoin:
+		cp := *t
+		cp.Left = b.plan(t.Left)
+		cp.ExtraOn = b.scalars(t.ExtraOn)
+		return &cp
+	case *HashJoin:
+		cp := *t
+		cp.Left = b.plan(t.Left)
+		cp.Right = b.plan(t.Right)
+		cp.ExtraOn = b.scalars(t.ExtraOn)
+		return &cp
+	case *MergeJoin:
+		cp := *t
+		cp.Left = b.plan(t.Left)
+		cp.Right = b.plan(t.Right)
+		cp.ExtraOn = b.scalars(t.ExtraOn)
+		return &cp
+	case *HashGroupBy:
+		cp := *t
+		cp.Input = b.plan(t.Input)
+		cp.Aggs = b.aggs(t.Aggs)
+		return &cp
+	case *StreamGroupBy:
+		cp := *t
+		cp.Input = b.plan(t.Input)
+		cp.Aggs = b.aggs(t.Aggs)
+		return &cp
+	case *LimitOp:
+		cp := *t
+		cp.Input = b.plan(t.Input)
+		return &cp
+	case *UnionAll:
+		cp := *t
+		cp.Left = b.plan(t.Left)
+		cp.Right = b.plan(t.Right)
+		return &cp
+	case *Exchange:
+		cp := *t
+		cp.Input = b.plan(t.Input)
+		return &cp
+	}
+	return p
+}
+
+// HasSubqueryScalar reports whether any scalar anywhere in the plan contains
+// a subquery. Subquery scalars embed logical subplans the parameter binder
+// does not descend into, so plans containing them are not eligible for the
+// prepared-statement plan cache (the engine re-optimizes those per execute).
+func HasSubqueryScalar(p Plan) bool {
+	found := false
+	var walk func(Plan)
+	check := func(ss ...logical.Scalar) {
+		for _, s := range ss {
+			if s != nil && logical.HasSubquery(s) {
+				found = true
+			}
+		}
+	}
+	walk = func(p Plan) {
+		if found || p == nil {
+			return
+		}
+		switch t := p.(type) {
+		case *TableScan:
+			check(t.Filter...)
+		case *IndexScan:
+			check(t.Filter...)
+		case *ValuesOp:
+			for _, r := range t.Rows {
+				check(r...)
+			}
+		case *Filter:
+			check(t.Preds...)
+		case *Project:
+			for _, it := range t.Items {
+				check(it.Expr)
+			}
+		case *NLJoin:
+			check(t.On...)
+		case *INLJoin:
+			check(t.ExtraOn...)
+		case *HashJoin:
+			check(t.ExtraOn...)
+		case *MergeJoin:
+			check(t.ExtraOn...)
+		case *HashGroupBy:
+			for _, a := range t.Aggs {
+				check(a.Arg)
+			}
+		case *StreamGroupBy:
+			for _, a := range t.Aggs {
+				check(a.Arg)
+			}
+		}
+		for _, c := range Children(p) {
+			walk(c)
+		}
+	}
+	walk(p)
+	return found
+}

@@ -220,6 +220,13 @@ type Lit struct{ Val datum.D }
 func (*Lit) expr()            {}
 func (l *Lit) String() string { return l.Val.String() }
 
+// Param is a statement parameter placeholder (`?` or `$n`). Ord is the
+// 1-based ordinal; `?` placeholders are numbered left to right by the lexer.
+type Param struct{ Ord int }
+
+func (*Param) expr()            {}
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Ord) }
+
 // BinOp enumerates binary operators.
 type BinOp uint8
 

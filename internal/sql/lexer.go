@@ -6,6 +6,7 @@ package sql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -21,6 +22,7 @@ const (
 	TokNumber
 	TokString
 	TokSymbol // punctuation and operators
+	TokParam  // statement parameter placeholder: `?` or `$n`; Text is the 1-based ordinal
 )
 
 // Token is one lexical token with its source position (1-based).
@@ -36,6 +38,8 @@ func (t Token) String() string {
 		return "end of input"
 	case TokString:
 		return fmt.Sprintf("'%s'", t.Text)
+	case TokParam:
+		return "$" + t.Text
 	default:
 		return t.Text
 	}
@@ -63,6 +67,7 @@ func Lex(input string) ([]Token, error) {
 	var toks []Token
 	i := 0
 	n := len(input)
+	nAnon := 0 // `?` placeholders seen so far; each takes the next ordinal
 	for i < n {
 		c := input[i]
 		switch {
@@ -148,6 +153,24 @@ func Lex(input string) ([]Token, error) {
 				} else {
 					return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
 				}
+			case '?':
+				nAnon++
+				toks = append(toks, Token{TokParam, strconv.Itoa(nAnon), start})
+				i++
+			case '$':
+				i++
+				ds := i
+				for i < n && input[i] >= '0' && input[i] <= '9' {
+					i++
+				}
+				if ds == i {
+					return nil, fmt.Errorf("sql: expected digits after '$' at offset %d", start)
+				}
+				ord, err := strconv.Atoi(input[ds:i])
+				if err != nil || ord < 1 {
+					return nil, fmt.Errorf("sql: invalid parameter ordinal %q at offset %d", input[start:i], start)
+				}
+				toks = append(toks, Token{TokParam, strconv.Itoa(ord), start})
 			case '=', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
 				toks = append(toks, Token{TokSymbol, string(c), start})
 				i++

@@ -1,0 +1,55 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Normalize returns the canonical statement text used to key the prepared-
+// statement plan cache, plus the number of parameters the statement takes
+// (the highest ordinal referenced). Two statements normalize identically
+// exactly when they are the same token sequence modulo whitespace, comments,
+// keyword/identifier case and placeholder style: tokens are joined with
+// single spaces, keywords arrive upper-cased from the lexer, identifiers are
+// lower-cased (resolution is case-insensitive), and every placeholder is
+// rendered positionally as `$n`, so `select * from T where a=?` and
+// `SELECT * FROM t WHERE a = $1` share a cache entry.
+func Normalize(input string) (string, int, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return "", 0, err
+	}
+	var sb strings.Builder
+	nParams := 0
+	for _, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.Kind {
+		case TokIdent:
+			sb.WriteString(strings.ToLower(t.Text))
+		case TokString:
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+			sb.WriteByte('\'')
+		case TokParam:
+			ord, err := strconv.Atoi(t.Text)
+			if err != nil || ord < 1 {
+				return "", 0, err
+			}
+			if ord > nParams {
+				nParams = ord
+			}
+			sb.WriteByte('$')
+			sb.WriteString(t.Text)
+		default:
+			sb.WriteString(t.Text)
+		}
+	}
+	// Statements normalize without a trailing ';' so `X` and `X;` coincide.
+	out := strings.TrimSuffix(sb.String(), " ;")
+	return out, nParams, nil
+}

@@ -1,0 +1,76 @@
+package sql
+
+import "testing"
+
+func TestLexParams(t *testing.T) {
+	toks, err := Lex("a = ? AND b = ? OR c = $5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var params []string
+	for _, tok := range toks {
+		if tok.Kind == TokParam {
+			params = append(params, tok.Text)
+		}
+	}
+	if len(params) != 3 || params[0] != "1" || params[1] != "2" || params[2] != "5" {
+		t.Fatalf("params = %v, want [1 2 5]", params)
+	}
+	if _, err := Lex("a = $"); err == nil {
+		t.Fatal("expected error for bare '$'")
+	}
+}
+
+func TestParseParam(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE a = ? AND b > $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	var ords []int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Param:
+			ords = append(ords, x.Ord)
+		case *BinExpr:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	walk(sel.Where)
+	if len(ords) != 2 || ords[0] != 1 || ords[1] != 2 {
+		t.Fatalf("ordinals = %v, want [1 2]", ords)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a, n, err := Normalize("select  name from EMP where sal > ? and did = ?;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, n2, err := Normalize("SELECT name\nFROM emp -- comment\nWHERE sal > $1 AND did = $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("normalized forms differ:\n  %q\n  %q", a, b)
+	}
+	if n != 2 || n2 != 2 {
+		t.Fatalf("param counts = %d, %d, want 2", n, n2)
+	}
+	// Different literals must NOT collide.
+	c, _, _ := Normalize("SELECT name FROM emp WHERE sal > 10")
+	d, _, _ := Normalize("SELECT name FROM emp WHERE sal > 20")
+	if c == d {
+		t.Fatal("distinct literals normalized identically")
+	}
+	// String literals keep their content (with escaping).
+	s, _, err := Normalize("SELECT * FROM t WHERE s = 'o''brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "SELECT * FROM t WHERE s = 'o''brien'"; s != want {
+		t.Fatalf("normalized = %q, want %q", s, want)
+	}
+}

@@ -688,6 +688,13 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case t.Kind == TokString:
 		p.next()
 		return &Lit{Val: datum.NewString(t.Text)}, nil
+	case t.Kind == TokParam:
+		p.next()
+		ord, err := strconv.Atoi(t.Text)
+		if err != nil || ord < 1 {
+			return nil, p.errorf("invalid parameter %s", t)
+		}
+		return &Param{Ord: ord}, nil
 	case t.Kind == TokKeyword && t.Text == "NULL":
 		p.next()
 		return &Lit{Val: datum.Null}, nil

@@ -41,42 +41,45 @@ func (o *Optimizer) scanOrds(cols []logical.ColumnID) []int {
 }
 
 // constEq returns the constant compared for equality with the column, if the
-// predicate has the shape col = const.
-func constEq(p logical.Scalar, col logical.ColumnID) (datum.D, bool) {
+// predicate has the shape col = const, plus the parameter ordinal behind the
+// constant (0 for a plain literal).
+func constEq(p logical.Scalar, col logical.ColumnID) (datum.D, int, bool) {
 	cmp, ok := p.(*logical.Cmp)
 	if !ok || cmp.Op != logical.CmpEq {
-		return datum.Null, false
+		return datum.Null, 0, false
 	}
 	if c, ok := cmp.L.(*logical.Col); ok && c.ID == col {
 		if k, ok := cmp.R.(*logical.Const); ok {
-			return k.Val, true
+			return k.Val, k.Param, true
 		}
 	}
 	if c, ok := cmp.R.(*logical.Col); ok && c.ID == col {
 		if k, ok := cmp.L.(*logical.Const); ok {
-			return k.Val, true
+			return k.Val, k.Param, true
 		}
 	}
-	return datum.Null, false
+	return datum.Null, 0, false
 }
 
-// rangeBound extracts a range bound on the column: (lo/hi, inclusive).
-func rangeBound(p logical.Scalar, col logical.ColumnID) (lo datum.D, loIncl bool, hi datum.D, hiIncl bool, ok bool) {
+// rangeBound extracts a range bound on the column: (lo/hi, inclusive), with
+// the parameter ordinals behind each bound (0 for plain literals).
+func rangeBound(p logical.Scalar, col logical.ColumnID) (lo datum.D, loIncl bool, loParam int, hi datum.D, hiIncl bool, hiParam int, ok bool) {
 	cmp, okc := p.(*logical.Cmp)
 	if !okc {
 		return
 	}
 	op := cmp.Op
 	var k datum.D
+	var kParam int
 	if c, okc := cmp.L.(*logical.Col); okc && c.ID == col {
 		if kk, okc := cmp.R.(*logical.Const); okc {
-			k = kk.Val
+			k, kParam = kk.Val, kk.Param
 		} else {
 			return
 		}
 	} else if c, okc := cmp.R.(*logical.Col); okc && c.ID == col {
 		if kk, okc := cmp.L.(*logical.Const); okc {
-			k = kk.Val
+			k, kParam = kk.Val, kk.Param
 			op = op.Commute()
 		} else {
 			return
@@ -86,15 +89,25 @@ func rangeBound(p logical.Scalar, col logical.ColumnID) (lo datum.D, loIncl bool
 	}
 	switch op {
 	case logical.CmpLt:
-		return datum.Null, false, k, false, true
+		return datum.Null, false, 0, k, false, kParam, true
 	case logical.CmpLe:
-		return datum.Null, false, k, true, true
+		return datum.Null, false, 0, k, true, kParam, true
 	case logical.CmpGt:
-		return k, false, datum.Null, false, true
+		return k, false, kParam, datum.Null, false, 0, true
 	case logical.CmpGe:
-		return k, true, datum.Null, false, true
+		return k, true, kParam, datum.Null, false, 0, true
 	}
 	return
+}
+
+// hasParamOrd reports whether any collected ordinal is a real parameter.
+func hasParamOrd(ords []int) bool {
+	for _, o := range ords {
+		if o != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // accessPaths generates the candidate access paths for one base-table
@@ -125,9 +138,11 @@ func (o *Optimizer) accessPaths(scan *logical.Scan, filters []logical.Scalar) []
 	for _, ix := range scan.Table.Indexes {
 		// Greedily match an equality prefix, then one range column.
 		var eqKey datum.Row
+		var eqParams []int
 		matched := map[logical.Scalar]bool{}
 		var lo, hi datum.D
 		var loIncl, hiIncl bool
+		var loParam, hiParam int
 		sel := 1.0
 		for depth, ord := range ix.Cols {
 			col, ok := o.ordToColID(scan, ord)
@@ -135,13 +150,14 @@ func (o *Optimizer) accessPaths(scan *logical.Scan, filters []logical.Scalar) []
 				break
 			}
 			var eqConst datum.D
+			eqParam := 0
 			eqFound := false
 			for _, f := range filters {
 				if matched[f] {
 					continue
 				}
-				if v, ok := constEq(f, col); ok {
-					eqConst, eqFound = v, true
+				if v, prm, ok := constEq(f, col); ok {
+					eqConst, eqParam, eqFound = v, prm, true
 					matched[f] = true
 					sel *= o.Est.Selectivity(f, scanStats)
 					break
@@ -149,6 +165,7 @@ func (o *Optimizer) accessPaths(scan *logical.Scan, filters []logical.Scalar) []
 			}
 			if eqFound {
 				eqKey = append(eqKey, eqConst)
+				eqParams = append(eqParams, eqParam)
 				continue
 			}
 			// No equality at this depth: try range bounds, then stop.
@@ -156,21 +173,24 @@ func (o *Optimizer) accessPaths(scan *logical.Scan, filters []logical.Scalar) []
 				if matched[f] {
 					continue
 				}
-				l, li, h, hi2, ok := rangeBound(f, col)
+				l, li, lp, h, hi2, hp, ok := rangeBound(f, col)
 				if !ok {
 					continue
 				}
 				matched[f] = true
 				sel *= o.Est.Selectivity(f, scanStats)
 				if !l.IsNull() {
-					lo, loIncl = l, li
+					lo, loIncl, loParam = l, li, lp
 				}
 				if !h.IsNull() {
-					hi, hiIncl = h, hi2
+					hi, hiIncl, hiParam = h, hi2, hp
 				}
 			}
 			_ = depth
 			break
+		}
+		if !hasParamOrd(eqParams) {
+			eqParams = nil // keep plans without parameters byte-identical to before
 		}
 		qualified := len(eqKey) > 0 || !lo.IsNull() || !hi.IsNull()
 		if !qualified && !o.Opts.InterestingOrders {
@@ -194,9 +214,9 @@ func (o *Optimizer) accessPaths(scan *logical.Scan, filters []logical.Scalar) []
 			Binding: scan.Binding,
 			Cols:    scan.Cols,
 			ColOrds: ords,
-			EqKey:   eqKey,
-			Lo:      lo, LoIncl: loIncl,
-			Hi: hi, HiIncl: hiIncl,
+			EqKey:   eqKey, EqKeyParams: eqParams,
+			Lo: lo, LoIncl: loIncl, LoParam: loParam,
+			Hi: hi, HiIncl: hiIncl, HiParam: hiParam,
 			Filter: residual,
 		})
 	}

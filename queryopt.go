@@ -18,8 +18,12 @@ package queryopt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
@@ -30,6 +34,7 @@ import (
 	"repro/internal/matview"
 	"repro/internal/parallel"
 	"repro/internal/physical"
+	"repro/internal/plancache"
 	"repro/internal/qgm"
 	"repro/internal/rewrite"
 	"repro/internal/sql"
@@ -110,6 +115,23 @@ type Options struct {
 	// and falls back to the row engine for the rest; VectorizeOff forces row
 	// execution everywhere. Results are identical either way.
 	Vectorize VectorizeMode
+	// TotalMemBudget caps the working memory of all concurrently running
+	// queries combined, in modeled bytes: each query's account (capped at
+	// MemBudget) additionally charges this shared pool, so admission-level
+	// concurrency cannot multiply MemBudget unchecked. 0 means unlimited.
+	TotalMemBudget int64
+	// MaxConcurrentQueries bounds how many SELECTs may run at once; excess
+	// callers queue at admission. 0 means unbounded.
+	MaxConcurrentQueries int
+	// AdmissionTimeout bounds how long a query waits at admission before
+	// failing with ErrAdmissionTimeout. 0 means wait indefinitely (or until
+	// the caller's context is done).
+	AdmissionTimeout time.Duration
+	// PlanCacheSize bounds the prepared-statement plan cache (entries are
+	// normalized statement text + parameter-type signature). 0 selects the
+	// default of 128; negative disables the cache, so every Stmt execution
+	// re-optimizes at its bindings.
+	PlanCacheSize int
 }
 
 // VectorizeMode selects between the columnar batch path and pure row
@@ -129,14 +151,28 @@ const (
 // spilling to disk.
 var ErrMemoryBudgetExceeded = exec.ErrMemoryBudgetExceeded
 
-// Engine is an embedded single-process database engine.
+// ErrAdmissionTimeout is returned by queries that waited longer than
+// Options.AdmissionTimeout for an execution slot; match with errors.Is.
+var ErrAdmissionTimeout = errors.New("queryopt: admission queue timeout")
+
+// ErrPoolClosed is returned (wrapped, match with errors.Is) by parallel
+// queries that raced Engine.Close: in-flight work drains, late submissions
+// get this typed error.
+var ErrPoolClosed = exec.ErrPoolClosed
+
+// Engine is an embedded single-process database engine. Exec, QueryAnalyze
+// and prepared-statement execution are safe for concurrent use from many
+// goroutines: reads (SELECTs) share the engine, catalog-mutating statements
+// (CREATE/INSERT/ANALYZE) serialize against them, parallel executions share
+// one worker pool, and per-query memory accounts draw on the shared
+// TotalMemBudget pool.
 type Engine struct {
 	opts  Options
 	cat   *catalog.Catalog
 	store *storage.Store
 	udfs  []udf
 	// pool is the worker pool shared by all parallel query executions of
-	// this engine; created lazily, released by Close.
+	// this engine; created by New when Parallelism > 1, released by Close.
 	pool *exec.Pool
 	// feedback retains estimate-vs-actual observations from analyzed
 	// executions — the execution-feedback substrate (§5's statistics loop
@@ -145,6 +181,26 @@ type Engine struct {
 	// faults injects errors/latency into scan batches and spill I/O of every
 	// query this engine runs — the fault harness the robustness tests drive.
 	faults *faultfs.Injector
+
+	// mu is the catalog latch: SELECTs hold it shared for their whole
+	// build-optimize-execute span, statements that mutate catalog or data
+	// (CREATE, INSERT, ANALYZE) hold it exclusive. Plans never observe a
+	// half-applied DDL.
+	mu sync.RWMutex
+	// catVersion counts catalog shape and statistics changes (DDL, ANALYZE —
+	// not INSERT, which leaves cached plans correct, only possibly stale in
+	// quality until the next ANALYZE). Cached plan diagrams remember the
+	// version they were built under and re-optimize when it moves.
+	catVersion atomic.Uint64
+	// admitCh is the admission semaphore (nil = unbounded).
+	admitCh chan struct{}
+	// totalMem is the shared memory pool parented by every query account
+	// (nil = unlimited).
+	totalMem *exec.MemAccount
+	// plans is the prepared-statement plan cache (nil = disabled); hit/miss
+	// accounting at plan granularity is in cacheHits/cacheMisses.
+	plans                 *plancache.Cache
+	cacheHits, cacheMisses atomic.Int64
 }
 
 type udf struct {
@@ -165,20 +221,73 @@ func New(opts Options) *Engine {
 	if opts.FeedbackCapacity == 0 {
 		opts.FeedbackCapacity = 1024
 	}
-	return &Engine{
+	eng := &Engine{
 		opts:     opts,
 		cat:      catalog.New(),
 		store:    storage.NewStore(),
 		feedback: physical.NewFeedbackRing(opts.FeedbackCapacity),
 	}
+	// The pool is created eagerly: lazy creation from concurrent first
+	// queries would race, and an eager pool makes Close's drain guarantee
+	// unconditional.
+	if opts.Parallelism > 1 {
+		eng.pool = exec.NewPool(opts.Parallelism)
+	}
+	if opts.MaxConcurrentQueries > 0 {
+		eng.admitCh = make(chan struct{}, opts.MaxConcurrentQueries)
+	}
+	if opts.TotalMemBudget > 0 {
+		eng.totalMem = exec.NewMemAccount(opts.TotalMemBudget)
+	}
+	if opts.PlanCacheSize >= 0 {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = 128
+		}
+		eng.plans = plancache.New(size)
+	}
+	return eng
 }
 
 // Close releases the engine's parallel worker pool, if one was created.
-// Engines that never executed with Parallelism > 1 need not call it.
+// In-flight parallel queries drain before Close returns; queries submitted
+// after Close fail with an error matching ErrPoolClosed. Engines that never
+// executed with Parallelism > 1 need not call it.
 func (e *Engine) Close() {
 	if e.pool != nil {
 		e.pool.Close()
-		e.pool = nil
+	}
+}
+
+// admit claims an execution slot, waiting up to AdmissionTimeout (and no
+// longer than the context allows). The returned release must be called when
+// the query finishes.
+func (e *Engine) admit(ctx context.Context) (release func(), err error) {
+	if e.admitCh == nil {
+		return func() {}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case e.admitCh <- struct{}{}:
+		return func() { <-e.admitCh }, nil
+	default:
+	}
+	var timeout <-chan time.Time
+	if e.opts.AdmissionTimeout > 0 {
+		t := time.NewTimer(e.opts.AdmissionTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case e.admitCh <- struct{}{}:
+		return func() { <-e.admitCh }, nil
+	case <-timeout:
+		return nil, fmt.Errorf("%w (waited %v for a slot, %d running)",
+			ErrAdmissionTimeout, e.opts.AdmissionTimeout, e.opts.MaxConcurrentQueries)
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -219,6 +328,8 @@ type ExecStats struct {
 // (§7.2). Declared cost and selectivity inform the optimizer; fn executes it.
 // Arguments arrive as native Go values.
 func (e *Engine) RegisterPredicate(name string, perTupleCost, selectivity float64, fn func(args []any) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.udfs = append(e.udfs, udf{
 		name: name, cost: perTupleCost, sel: selectivity,
 		fn: func(ds []datum.D) bool {
@@ -271,18 +382,32 @@ func (e *Engine) Explain(text string) (string, error) {
 	return sb.String(), nil
 }
 
+// writeStmt runs a catalog- or data-mutating statement under the exclusive
+// latch. bumpVersion marks statements that change plan-relevant state (DDL,
+// ANALYZE) so cached plan diagrams re-optimize; INSERT leaves cached plans
+// correct and does not bump.
+func (e *Engine) writeStmt(bumpVersion bool, fn func() (*Result, error)) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res, err := fn()
+	if err == nil && bumpVersion {
+		e.catVersion.Add(1)
+	}
+	return res, err
+}
+
 func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, explain bool) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sql.CreateTableStmt:
-		return e.createTable(t)
+		return e.writeStmt(true, func() (*Result, error) { return e.createTable(t) })
 	case *sql.CreateIndexStmt:
-		return e.createIndex(t)
+		return e.writeStmt(true, func() (*Result, error) { return e.createIndex(t) })
 	case *sql.CreateViewStmt:
-		return e.createView(t)
+		return e.writeStmt(true, func() (*Result, error) { return e.createView(t) })
 	case *sql.InsertStmt:
-		return e.insert(t)
+		return e.writeStmt(false, func() (*Result, error) { return e.insert(t) })
 	case *sql.AnalyzeStmt:
-		return e.analyze(t)
+		return e.writeStmt(true, func() (*Result, error) { return e.analyze(t) })
 	case *sql.ExplainStmt:
 		if t.Analyze {
 			sel, ok := t.Stmt.(*sql.SelectStmt)
@@ -477,6 +602,18 @@ func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt, explain bool) (
 // returned alongside the result, and every (node, est, actual) pair is
 // recorded into the engine's feedback ring.
 func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze bool) (*Result, *PlanAnalysis, error) {
+	// Admission first (queue without holding any latch), then the shared
+	// latch for the whole build-optimize-execute span: a SELECT never
+	// observes a half-applied DDL, and version checks against cached plans
+	// cannot race catalog changes.
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
 	q, err := e.Build(sel)
 	if err != nil {
 		return nil, nil, err
@@ -548,13 +685,6 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze 
 		return res, nil, nil
 	}
 	ec := e.newExecCtx(ctx, bestQ.Meta)
-	if e.opts.Parallelism > 1 {
-		ec.Parallelism = e.opts.Parallelism
-		if e.pool == nil {
-			e.pool = exec.NewPool(e.opts.Parallelism)
-		}
-		ec.Pool = e.pool
-	}
 	var metrics *physical.RunMetrics
 	if analyze {
 		metrics = ec.EnableAnalyze()
@@ -579,10 +709,16 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze 
 func (e *Engine) newExecCtx(ctx context.Context, meta *logical.Metadata) *exec.Ctx {
 	ec := exec.NewCtx(e.store, meta)
 	ec.Context = ctx
-	ec.Mem = exec.NewMemAccount(e.opts.MemBudget)
+	// The per-query account chains to the engine-wide pool so concurrent
+	// queries cannot collectively exceed TotalMemBudget.
+	ec.Mem = exec.NewMemAccountWithParent(e.opts.MemBudget, e.totalMem)
 	ec.TempDir = e.opts.TempDir
 	ec.Faults = e.faults
 	ec.Vectorize = e.opts.Vectorize != VectorizeOff
+	if e.opts.Parallelism > 1 {
+		ec.Parallelism = e.opts.Parallelism
+		ec.Pool = e.pool
+	}
 	return ec
 }
 
@@ -669,6 +805,8 @@ func (e *Engine) Store() *storage.Store { return e.store }
 // LoadRows bulk-inserts native Go rows into a table (fast path for
 // generators and examples).
 func (e *Engine) LoadRows(table string, rows [][]any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tab, ok := e.store.Table(table)
 	if !ok {
 		return fmt.Errorf("queryopt: unknown table %q", table)
