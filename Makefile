@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench bench-smoke
+.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench adaptive-bench bench-smoke
 
 build:
 	go build ./...
@@ -44,14 +44,22 @@ vectorized-bench:
 serving-bench:
 	go run ./cmd/benchharness serving
 
+# Adaptive planning tradeoff: greedy fast path vs full DP planning and
+# execution time over the short-statement corpus; writes BENCH_adaptive.json.
+# E26 at full size.
+adaptive-bench:
+	go run ./cmd/benchharness adaptive
+
 # bench-smoke is the fast perf gate: a reduced-size E24 run (row-vs-vectorized
 # must still report identical results), a tiny E25 serving sweep under the
-# race detector (all three modes must still report identical results), and
-# the executor suite under -race. CI runs this on every push; it finishes in
-# well under a minute.
+# race detector (all three modes must still report identical results), a
+# reduced E26 adaptive sweep under the race detector (greedy and DP arms must
+# still report identical results), and the executor suite under -race. CI runs
+# this on every push; it finishes in well under a minute.
 bench-smoke:
 	go run ./cmd/benchharness vectorized 20000
 	GOMAXPROCS=4 go run -race ./cmd/benchharness serving 1000 8
+	GOMAXPROCS=4 go run -race ./cmd/benchharness adaptive 40 2000
 	go test -race -count=1 ./internal/exec/...
 
 # Fault-injection, cancellation, spill and goroutine-leak suites under the

@@ -1,0 +1,110 @@
+// Adaptive planning plumbing: harvesting analyzed-execution observations
+// into the estimator's cardinality overrides, the q-error replan trigger,
+// and incremental statistics maintenance on INSERT. The greedy fast path
+// itself lives in internal/systemr; this file is the engine-side feedback
+// loop that decides when plans should be revisited.
+package queryopt
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/histogram"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/stats"
+)
+
+// harvestOverrides promotes measured table-scan cardinalities from one
+// analyzed execution into the engine's override store, returning whether any
+// override changed materially (the caller's signal to invalidate cached plan
+// diagrams). Only scans that actually ran are harvested — a node registered
+// by plan setup but never pulled reports ActualRows=0, which is an artifact
+// of early termination, not an observation of an empty result. Scans under a
+// LIMIT are skipped for the same reason: their row counts reflect the cutoff,
+// not the predicate. Re-invoked scans (re-materialized inner sides) record
+// the per-invocation average.
+func (e *Engine) harvestOverrides(p physical.Plan, md *logical.Metadata, rm *physical.RunMetrics) bool {
+	changed := false
+	var walk func(p physical.Plan, underLimit bool)
+	walk = func(p physical.Plan, underLimit bool) {
+		if ts, ok := p.(*physical.TableScan); ok && !underLimit && ts.Table != nil {
+			if m := rm.Lookup(p); m != nil && m.Invocations > 0 {
+				if fp, ok := stats.FingerprintFilters(md, ts.Table.Name, ts.Filter); ok {
+					actual := float64(m.ActualRows) / float64(m.Invocations)
+					if e.overrides.Set(ts.Table.Name, fp, actual) {
+						changed = true
+					}
+				}
+			}
+		}
+		if _, ok := p.(*physical.LimitOp); ok {
+			underLimit = true
+		}
+		for _, c := range physical.Children(p) {
+			walk(c, underLimit)
+		}
+	}
+	walk(p, false)
+	return changed
+}
+
+// OverrideCount reports how many feedback-patched cardinality overrides the
+// engine currently holds (always 0 unless Options.FeedbackPatching).
+func (e *Engine) OverrideCount() int { return e.overrides.Len() }
+
+// markReplan flags a statement family (by fingerprint) for forced
+// re-optimization: the next cached execution drops its plan diagram.
+func (e *Engine) markReplan(fp string) {
+	e.replanMu.Lock()
+	e.replan[fp] = struct{}{}
+	e.replanMu.Unlock()
+}
+
+// consumeReplan reports and clears the replan mark for a statement family.
+// The mark is consumed exactly once: the execution that observes it
+// re-optimizes (with feedback-patched statistics, if enabled) and re-caches.
+func (e *Engine) consumeReplan(fp string) bool {
+	e.replanMu.Lock()
+	_, ok := e.replan[fp]
+	if ok {
+		delete(e.replan, fp)
+	}
+	e.replanMu.Unlock()
+	return ok
+}
+
+// maintainStats folds one inserted row into the table's statistics
+// (Options.IncrementalStats): row and page counts advance, null counts
+// track, and existing histograms absorb the value via incremental
+// widen/split/merge maintenance. Distinct counts are left to drift — they
+// cannot be maintained from inserts alone — and no catalog-version bump is
+// issued: incremental maintenance keeps cached plans fresher, it does not
+// invalidate them (the feedback loop handles plans that went stale anyway).
+// Tables never ANALYZEd have no statistics to maintain and are skipped.
+func (e *Engine) maintainStats(def *catalog.Table, row datum.Row) {
+	if def == nil || def.Stats == nil {
+		return
+	}
+	st := def.Stats
+	if st.RowCount > 0 {
+		st.PageCount += st.PageCount / st.RowCount
+	}
+	st.RowCount++
+	buckets := e.opts.Analyze.Buckets
+	if buckets <= 0 {
+		buckets = 32
+	}
+	for ord, cs := range st.ColStats {
+		if ord >= len(row) {
+			continue
+		}
+		d := row[ord]
+		if d.Kind() == datum.KindNull {
+			cs.NullCount++
+			continue
+		}
+		if cs.Hist != nil {
+			histogram.NewIncremental(cs.Hist, buckets).Insert(d)
+		}
+	}
+}

@@ -19,6 +19,10 @@ type PlanAnalysis struct {
 	Text string
 	// Root is the structured metrics tree mirroring the physical plan.
 	Root *NodeAnalysis
+	// WorstQError is the largest per-node q-error among executed nodes (1.0
+	// when every estimate was perfect or nothing executed) — the signal the
+	// Options.ReplanQErrorThreshold trigger compares against.
+	WorstQError float64
 }
 
 // NodeAnalysis is one plan node's estimates confronted with its measured
@@ -64,10 +68,17 @@ type NodeAnalysis struct {
 
 // buildAnalysis converts collected run metrics into the public analysis tree.
 func buildAnalysis(p physical.Plan, md *logical.Metadata, rm *physical.RunMetrics) *PlanAnalysis {
-	return &PlanAnalysis{
-		Text: physical.FormatAnalyze(p, md, rm),
-		Root: buildNodeAnalysis(p, md, rm),
+	pa := &PlanAnalysis{
+		Text:        physical.FormatAnalyze(p, md, rm),
+		Root:        buildNodeAnalysis(p, md, rm),
+		WorstQError: 1,
 	}
+	pa.Root.Walk(func(n *NodeAnalysis) {
+		if n.Executed && n.QError > pa.WorstQError {
+			pa.WorstQError = n.QError
+		}
+	})
+	return pa
 }
 
 func buildNodeAnalysis(p physical.Plan, md *logical.Metadata, rm *physical.RunMetrics) *NodeAnalysis {
@@ -136,11 +147,15 @@ func (e *Engine) QueryAnalyzeContext(ctx context.Context, text string) (*Result,
 	if !ok {
 		return nil, nil, fmt.Errorf("queryopt: QueryAnalyze supports SELECT statements only, got %T", stmt)
 	}
-	return e.run(ctx, sel, false, true)
+	return e.run(ctx, sel, false, true, text)
 }
 
 // FeedbackEntry is one retained estimate-vs-actual observation.
 type FeedbackEntry struct {
+	// Statement is the normalized statement family the observation came from
+	// (literals and parameters rendered as `?`). Observations from identical
+	// operators in different statements stay distinct.
+	Statement string
 	// Node is the operator description the observation belongs to.
 	Node string
 	// Est and Actual are the estimated and measured cardinalities.
@@ -155,12 +170,14 @@ func (e *Engine) FeedbackLen() int { return e.feedback.Len() }
 
 // FeedbackReport returns up to k retained observations ordered by descending
 // q-error: the worst cardinality-misestimation offenders seen by analyzed
-// executions, i.e. where refreshed statistics would pay off most.
+// executions, i.e. where refreshed statistics would pay off most. Repeated
+// observations of the same (statement, operator) pair are deduplicated to
+// their worst q-error, so a hot statement cannot flood the report.
 func (e *Engine) FeedbackReport(k int) []FeedbackEntry {
 	worst := e.feedback.WorstOffenders(k)
 	out := make([]FeedbackEntry, len(worst))
 	for i, w := range worst {
-		out[i] = FeedbackEntry{Node: w.Node, Est: w.Est, Actual: w.Actual, QError: w.QError}
+		out[i] = FeedbackEntry{Statement: w.Statement, Node: w.Node, Est: w.Est, Actual: w.Actual, QError: w.QError}
 	}
 	return out
 }

@@ -1,4 +1,4 @@
-// Command benchharness regenerates every table of the reproduction (E1–E24,
+// Command benchharness regenerates every table of the reproduction (E1–E26,
 // mapped to the paper's figures and claims in DESIGN.md). Run with no
 // arguments for everything, or pass experiment ids:
 //
@@ -17,6 +17,10 @@
 //	                                     # concurrent sessions: exec-literal vs
 //	                                     # prepared-reoptimize vs prepared-cached
 //	                                     # → BENCH_serving.json
+//	go run ./cmd/benchharness adaptive [queries] [rows]
+//	                                     # greedy fast path vs full DP: planning
+//	                                     # time, execution time, identical results
+//	                                     # → BENCH_adaptive.json
 package main
 
 import (
@@ -153,8 +157,52 @@ func servingBench(rows, perSession int) error {
 	return nil
 }
 
+// adaptiveBench runs the planning-vs-execution tradeoff of the greedy fast
+// path over the short-statement corpus and writes BENCH_adaptive.json:
+// per-arm planning and execution time, tier counts, the plan speedup and
+// execution regression ratios, and the bit-identical flag.
+func adaptiveBench(queries, rows int) error {
+	res := experiments.RunAdaptiveBench(queries, rows, 5, 7)
+	for _, a := range res.Arms {
+		fmt.Printf("%-8s mean plan=%.1fµs  mean exec=%.1fµs  total est cost=%.0f  tiers=%v\n",
+			a.Name, a.MeanPlanMicros, a.MeanExecMicros, a.TotalEstCost, a.Tiers)
+	}
+	fmt.Printf("plan speedup=%.2fx  exec regression=%.2fx  identical=%v  (gomaxprocs=%d cpus=%d)\n",
+		res.PlanSpeedup, res.ExecRegression, res.IdenticalResults, res.GOMAXPROCS, res.NumCPU)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_adaptive.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_adaptive.json")
+	return nil
+}
+
 func main() {
 	start := time.Now()
+	if len(os.Args) > 1 && os.Args[1] == "adaptive" {
+		queries, rows := 120, 20000
+		if len(os.Args) > 2 {
+			if _, err := fmt.Sscanf(os.Args[2], "%d", &queries); err != nil {
+				fmt.Fprintf(os.Stderr, "bad query count %q: %v\n", os.Args[2], err)
+				os.Exit(1)
+			}
+		}
+		if len(os.Args) > 3 {
+			if _, err := fmt.Sscanf(os.Args[3], "%d", &rows); err != nil {
+				fmt.Fprintf(os.Stderr, "bad row count %q: %v\n", os.Args[3], err)
+				os.Exit(1)
+			}
+		}
+		if err := adaptiveBench(queries, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("adaptive bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "serving" {
 		// Default table size keeps queries short (OLTP-style): the bench
 		// measures dispatch overhead — parse + optimize versus re-bind — and
@@ -222,7 +270,7 @@ func main() {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E24)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E26)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

@@ -34,9 +34,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-statement deadline, e.g. 500ms or 10s (0 = none)")
 	sessions := flag.Int("sessions", 1, "with -e: run the statement concurrently from this many sessions and report qps")
 	planCache := flag.String("plancache", "on", "parameterized plan cache for prepared statements: on | off")
+	greedyThreshold := flag.Int("greedy-threshold", 0, "adaptive greedy fast path: join blocks of up to this many relations skip DP (0 = off)")
+	replanQError := flag.Float64("replan-qerror", 0, "re-optimize a statement after an analyzed run whose worst q-error exceeds this (0 = off; implies feedback patching)")
 	flag.Parse()
 
-	opts := queryopt.Options{UseMaterializedViews: *useMV, Parallelism: *par, MemBudget: *memBudget}
+	opts := queryopt.Options{
+		UseMaterializedViews: *useMV, Parallelism: *par, MemBudget: *memBudget,
+		GreedyJoinThreshold:   *greedyThreshold,
+		ReplanQErrorThreshold: *replanQError,
+		FeedbackPatching:      *replanQError > 0,
+	}
 	if !*vectorize {
 		opts.Vectorize = queryopt.VectorizeOff
 	}

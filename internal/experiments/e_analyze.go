@@ -130,7 +130,7 @@ func RunAnalyzeBench(queries, empRows int, degrees []int, seed int64) *AnalyzeBe
 			if _, err := exec.RunPlanQuery(plan, q, ctx); err != nil {
 				panic(fmt.Sprintf("experiments: analyze bench %q: %v", text, err))
 			}
-			ring.RecordPlan(plan, q.Meta, rm)
+			ring.RecordPlan(plan, q.Meta, rm, text)
 		}
 		out.Points = append(out.Points, summarizeQErrors(deg, ring))
 	}

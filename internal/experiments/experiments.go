@@ -95,6 +95,7 @@ func All() []Table {
 		E22AnalyzeFeedback(),
 		E23Robustness(),
 		E24Vectorized(),
+		E26AdaptivePlanning(),
 	}
 }
 

@@ -13,8 +13,8 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		t.Skip("experiments are slow; skipped under -short")
 	}
 	tables := All()
-	if len(tables) != 24 {
-		t.Fatalf("expected 24 experiments, got %d", len(tables))
+	if len(tables) != 25 {
+		t.Fatalf("expected 25 experiments, got %d", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {

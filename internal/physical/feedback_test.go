@@ -1,0 +1,133 @@
+package physical
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/logical"
+)
+
+// feedbackFixture builds a Project-over-TableScan plan for a fresh table of
+// the given name and estimated size. Each call uses its own Metadata, so two
+// fixtures produce identical Describe strings ("project") for their roots —
+// the aliasing scenario the statement keying exists for.
+func feedbackFixture(name string, estRows float64) (*logical.Metadata, *Project, *TableScan) {
+	md := logical.NewMetadata()
+	tbl := &catalog.Table{Name: name, Cols: []catalog.Column{{Name: "a", Kind: datum.KindInt}}}
+	ids := md.AddTable(tbl, name)
+	scan := &TableScan{
+		Props: Props{Rows: estRows, Cost: estRows},
+		Table: tbl, Binding: name, Cols: ids, ColOrds: []int{0},
+	}
+	proj := &Project{
+		Props: Props{Rows: estRows, Cost: estRows},
+		Input: scan,
+		Items: []logical.ProjectItem{{ID: ids[0], Expr: &logical.Col{ID: ids[0]}}},
+	}
+	return md, proj, scan
+}
+
+// A statement re-analyzed many times must not flood the offender report:
+// repeated observations of one (statement, node) pair collapse to a single
+// entry carrying the worst q-error, leaving room for genuinely distinct
+// offenders.
+func TestWorstOffendersDedupesRepeatedStatement(t *testing.T) {
+	ring := NewFeedbackRing(256)
+	// One hot statement observed 50 times, worst q-error 40 (est 10, actual
+	// varies up to 400).
+	for i := 1; i <= 50; i++ {
+		ring.RecordStmt("select * from hot", "table-scan hot", 10, float64(8*i))
+	}
+	// Five distinct offenders with q-errors 2..6.
+	for i := 2; i <= 6; i++ {
+		ring.RecordStmt("select * from cold", string(rune('a'+i)), 1, float64(i))
+	}
+	got := ring.WorstOffenders(10)
+	if len(got) != 6 {
+		t.Fatalf("WorstOffenders = %d entries, want 6 (1 deduped hot + 5 distinct): %+v", len(got), got)
+	}
+	if got[0].Node != "table-scan hot" || got[0].QError != 40 {
+		t.Errorf("worst entry = %+v, want the hot statement at its max q-error 40", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].QError > got[i-1].QError {
+			t.Errorf("entries not sorted by descending q-error: %+v", got)
+		}
+		if got[i].Node == "table-scan hot" {
+			t.Errorf("hot statement appears more than once: %+v", got)
+		}
+	}
+}
+
+// Identically-described nodes from different statements must stay distinct
+// observations: here two Project roots over tables of very different sizes
+// both describe as "project", and only the statement text separates them.
+func TestRecordPlanKeysByStatement(t *testing.T) {
+	mdX, projX, scanX := feedbackFixture("x", 10)
+	mdY, projY, scanY := feedbackFixture("y", 10)
+
+	rmX := NewRunMetrics()
+	m := rmX.Node(projX)
+	m.ActualRows, m.Invocations = 1000, 1
+	m = rmX.Node(scanX)
+	m.ActualRows, m.Invocations = 1000, 1
+
+	rmY := NewRunMetrics()
+	m = rmY.Node(projY)
+	m.ActualRows, m.Invocations = 10, 1
+	m = rmY.Node(scanY)
+	m.ActualRows, m.Invocations = 10, 1
+
+	ring := NewFeedbackRing(16)
+	ring.RecordPlan(projX, mdX, rmX, "select a from x")
+	ring.RecordPlan(projY, mdY, rmY, "select a from y")
+
+	if ring.Len() != 4 {
+		t.Fatalf("ring has %d observations, want 4", ring.Len())
+	}
+	got := ring.WorstOffenders(10)
+	projects := 0
+	for _, e := range got {
+		if e.Node == "project" {
+			projects++
+			switch e.Statement {
+			case "select a from x":
+				if e.QError != 100 {
+					t.Errorf("x's project q-error = %v, want 100", e.QError)
+				}
+			case "select a from y":
+				if e.QError != 1 {
+					t.Errorf("y's project q-error = %v, want 1", e.QError)
+				}
+			default:
+				t.Errorf("project entry with unexpected statement %q", e.Statement)
+			}
+		}
+	}
+	if projects != 2 {
+		t.Fatalf("got %d project entries, want 2 (one per statement): %+v", projects, got)
+	}
+}
+
+// A plan node registered by execution setup but never invoked reports
+// ActualRows=0 as an artifact, not an observation; RecordPlan must skip it
+// rather than record a bogus q-error.
+func TestRecordPlanSkipsNeverExecutedNodes(t *testing.T) {
+	md, proj, scan := feedbackFixture("t", 500)
+	rm := NewRunMetrics()
+	m := rm.Node(proj)
+	m.ActualRows, m.Invocations = 500, 1
+	// The scan was registered (Node called) but never pulled: zero
+	// invocations, zero rows.
+	rm.Node(scan)
+
+	ring := NewFeedbackRing(16)
+	ring.RecordPlan(proj, md, rm, "select a from t")
+	if ring.Len() != 1 {
+		t.Fatalf("ring has %d observations, want 1 (never-executed scan skipped)", ring.Len())
+	}
+	if e := ring.Entries()[0]; e.Node != "project" {
+		t.Errorf("retained observation is %q, want the executed project", e.Node)
+	}
+}

@@ -53,3 +53,41 @@ func Normalize(input string) (string, int, error) {
 	out := strings.TrimSuffix(sb.String(), " ;")
 	return out, nParams, nil
 }
+
+// Fingerprint returns the statement-family key the adaptive replan trigger
+// uses: like Normalize, but string/number literals AND parameter
+// placeholders all render as `?`, so an analyzed literal statement
+// (`... WHERE a = 5`), its siblings at other constants, and the prepared
+// form (`... WHERE a = $1`) share one key. Leading EXPLAIN [ANALYZE]
+// keywords are dropped so `EXPLAIN ANALYZE SELECT ...` keys with the SELECT
+// it executes.
+func Fingerprint(input string) (string, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if sb.Len() == 0 {
+			up := strings.ToUpper(t.Text)
+			if up == "EXPLAIN" || up == "ANALYZE" {
+				continue
+			}
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.Kind {
+		case TokIdent:
+			sb.WriteString(strings.ToLower(t.Text))
+		case TokString, TokNumber, TokParam:
+			sb.WriteByte('?')
+		default:
+			sb.WriteString(t.Text)
+		}
+	}
+	return strings.TrimSuffix(sb.String(), " ;"), nil
+}

@@ -1,6 +1,9 @@
 package sql
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestLexParams(t *testing.T) {
 	toks, err := Lex("a = ? AND b = ? OR c = $5")
@@ -72,5 +75,39 @@ func TestNormalize(t *testing.T) {
 	}
 	if want := "SELECT * FROM t WHERE s = 'o''brien'"; s != want {
 		t.Fatalf("normalized = %q, want %q", s, want)
+	}
+}
+
+// Fingerprint collapses a statement to its family: literals and parameters
+// both become '?', identifiers fold case, and EXPLAIN/ANALYZE prefixes are
+// dropped so an analyzed run keys the same family as its plain executions.
+func TestFingerprint(t *testing.T) {
+	a, err := Fingerprint("select  name from EMP where sal > 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint("SELECT name FROM emp WHERE sal > 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Fingerprint("EXPLAIN ANALYZE SELECT name FROM emp WHERE sal > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || b != c {
+		t.Fatalf("same statement family fingerprints differ:\n  %q\n  %q\n  %q", a, b, c)
+	}
+	// Different shapes stay distinct.
+	d, _ := Fingerprint("SELECT name FROM emp WHERE sal < 10")
+	if a == d {
+		t.Fatal("distinct predicates fingerprinted identically")
+	}
+	// ANALYZE only skips as a statement prefix, not mid-statement.
+	e, err := Fingerprint("SELECT analyze FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToUpper(e), "ANALYZE") {
+		t.Fatalf("mid-statement ANALYZE token dropped: %q", e)
 	}
 }

@@ -59,7 +59,12 @@ type Estimator struct {
 	// UseHistograms disables histogram use when false (constants only),
 	// reproducing the degradation E10/E12 measure.
 	UseHistograms bool
-	cache         map[logical.RelExpr]*RelStats
+	// Overrides, when set, supplies feedback-patched cardinalities consulted
+	// before the histogram estimate: a (table, predicate-fingerprint) match
+	// on a scan or a filtered scan replaces the computed row count with the
+	// observed one. Estimates only — results are never affected.
+	Overrides *Overrides
+	cache     map[logical.RelExpr]*RelStats
 }
 
 // NewEstimator returns an estimator with histograms enabled.
@@ -85,7 +90,9 @@ func (e *Estimator) Stats(rel logical.RelExpr) *RelStats {
 func (e *Estimator) compute(rel logical.RelExpr) *RelStats {
 	switch t := rel.(type) {
 	case *logical.Scan:
-		return e.scanStats(t)
+		out := e.scanStats(t)
+		e.applyOverride(out, t, nil)
+		return out
 	case *logical.Values:
 		out := &RelStats{Rows: float64(len(t.Rows)), Cols: map[logical.ColumnID]*ColStat{}}
 		for _, c := range t.Cols {
@@ -94,7 +101,11 @@ func (e *Estimator) compute(rel logical.RelExpr) *RelStats {
 		return out
 	case *logical.Select:
 		in := e.Stats(t.Input)
-		return e.filterStats(in, t.Filters)
+		out := e.filterStats(in, t.Filters)
+		if scan, ok := t.Input.(*logical.Scan); ok {
+			e.applyOverride(out, scan, t.Filters)
+		}
+		return out
 	case *logical.Project:
 		in := e.Stats(t.Input)
 		out := &RelStats{Rows: in.Rows, Cols: map[logical.ColumnID]*ColStat{}, Joint: in.Joint}
@@ -172,6 +183,32 @@ func (e *Estimator) scanStats(t *logical.Scan) *RelStats {
 		out.Cols[id] = st
 	}
 	return out
+}
+
+// applyOverride replaces a scan (or filtered-scan) row estimate with an
+// observed cardinality when the engine's feedback loop recorded one for the
+// same (table, predicate fingerprint). Per-column summaries are kept — only
+// the row count is patched — and distincts are re-capped against it.
+func (e *Estimator) applyOverride(out *RelStats, scan *logical.Scan, filters []logical.Scalar) {
+	if e.Overrides == nil || scan.Table == nil {
+		return
+	}
+	fp, ok := FingerprintFilters(e.Meta, scan.Table.Name, filters)
+	if !ok {
+		return
+	}
+	rows, ok := e.Overrides.Get(scan.Table.Name, fp)
+	if !ok {
+		return
+	}
+	out.Rows = rows
+	for id, cs := range out.Cols {
+		if cs.Distinct > out.Rows && out.Rows > 0 {
+			nc := *cs
+			nc.Distinct = math.Max(1, out.Rows)
+			out.Cols[id] = &nc
+		}
+	}
 }
 
 func colIDForOrd(md *logical.Metadata, t *logical.Scan, ord int) (logical.ColumnID, bool) {

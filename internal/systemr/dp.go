@@ -74,10 +74,8 @@ func (o *Optimizer) optimizeBlock(root logical.RelExpr, interesting logical.ColS
 		}
 	case n > 63:
 		return nil, fmt.Errorf("systemr: %d relations exceed the enumerable maximum", n)
-	case n > o.Opts.MaxRelations:
-		plan, err = b.greedy()
 	default:
-		plan, err = b.dp()
+		plan, err = b.orderJoins(n)
 	}
 	if err != nil {
 		return nil, err
@@ -86,6 +84,37 @@ func (o *Optimizer) optimizeBlock(root logical.RelExpr, interesting logical.ColS
 		plan = o.addFilter(plan, floating)
 	}
 	return plan, nil
+}
+
+// orderJoins picks the enumeration tier for an n-relation block (n >= 2):
+// greedy beyond MaxRelations (the classical overflow fallback), greedy for
+// blocks at or below GreedyThreshold or whose greedy-ordered plan already
+// costs no more than GreedyCostThreshold (the adaptive fast-path — planning
+// time traded against join-order quality on statements too cheap to deserve
+// DP), and full DP enumeration otherwise.
+func (b *block) orderJoins(n int) (physical.Plan, error) {
+	o := b.opt
+	switch {
+	case n > o.Opts.MaxRelations:
+		o.noteTier(TierGreedyFallback)
+		return b.greedy()
+	case o.Opts.GreedyThreshold > 0 && n <= o.Opts.GreedyThreshold:
+		o.noteTier(TierGreedy)
+		return b.greedy()
+	case o.Opts.GreedyCostThreshold > 0:
+		if gp, err := b.greedy(); err == nil {
+			if _, c := gp.Estimate(); c <= o.Opts.GreedyCostThreshold {
+				o.noteTier(TierGreedy)
+				return gp, nil
+			}
+		}
+		// The greedy plan was too costly (or greedy failed): this block is
+		// expensive enough that DP's better join order pays for itself.
+		o.noteTier(TierDP)
+		return b.dp()
+	}
+	o.noteTier(TierDP)
+	return b.dp()
 }
 
 // equiCols extracts (leftCol, rightCol) from an equality between two columns.

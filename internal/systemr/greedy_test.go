@@ -1,0 +1,125 @@
+package systemr
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// tierFixture is a small analyzed Emp/Dept database shared by the tier tests.
+func tierFixture(t *testing.T) *workload.DB {
+	t.Helper()
+	db := workload.EmpDept(workload.EmpDeptConfig{Emps: 1200, Depts: 60, Seed: 3})
+	db.Analyze(stats.AnalyzeOptions{})
+	return db
+}
+
+const threeWay = `SELECT e.name, d.loc, m.name FROM Emp e, Dept d, Emp m
+	WHERE e.did = d.did AND m.eid = e.eid AND d.budget > 100`
+
+func TestTierTrivialForSingleTable(t *testing.T) {
+	db := tierFixture(t)
+	q := buildQuery(t, db, "SELECT name FROM Emp WHERE sal > 5000")
+	o := optimizer(q, DefaultOptions())
+	if _, err := o.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if o.Tier != TierTrivial {
+		t.Errorf("single-table tier = %q, want %q", o.Tier, TierTrivial)
+	}
+}
+
+func TestTierDPByDefault(t *testing.T) {
+	db := tierFixture(t)
+	q := buildQuery(t, db, threeWay)
+	o := optimizer(q, DefaultOptions())
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tier != TierDP {
+		t.Errorf("default join tier = %q, want %q", o.Tier, TierDP)
+	}
+	verifyPlan(t, db, q, plan)
+}
+
+func TestTierGreedyUnderThreshold(t *testing.T) {
+	db := tierFixture(t)
+	opts := DefaultOptions()
+	opts.GreedyThreshold = 8
+	q := buildQuery(t, db, threeWay)
+	o := optimizer(q, opts)
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tier != TierGreedy {
+		t.Errorf("tier = %q, want %q for a 3-relation block under threshold 8", o.Tier, TierGreedy)
+	}
+	// The fast path changes join order at most — never results.
+	verifyPlan(t, db, q, plan)
+
+	// A block wider than the threshold still pays for DP.
+	opts.GreedyThreshold = 2
+	q2 := buildQuery(t, db, threeWay)
+	o2 := optimizer(q2, opts)
+	if _, err := o2.Optimize(q2); err != nil {
+		t.Fatal(err)
+	}
+	if o2.Tier != TierDP {
+		t.Errorf("tier = %q, want %q for a 3-relation block over threshold 2", o2.Tier, TierDP)
+	}
+}
+
+func TestTierGreedyFallbackBeyondMaxRelations(t *testing.T) {
+	db := tierFixture(t)
+	opts := DefaultOptions()
+	opts.MaxRelations = 2
+	q := buildQuery(t, db, threeWay)
+	o := optimizer(q, opts)
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tier != TierGreedyFallback {
+		t.Errorf("tier = %q, want %q when the block exceeds MaxRelations", o.Tier, TierGreedyFallback)
+	}
+	verifyPlan(t, db, q, plan)
+}
+
+func TestTierGreedyCostThreshold(t *testing.T) {
+	db := tierFixture(t)
+	q := buildQuery(t, db, threeWay)
+
+	// A generous cost ceiling accepts the greedy order everywhere.
+	opts := DefaultOptions()
+	opts.GreedyCostThreshold = 1e12
+	o := optimizer(q, opts)
+	plan, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tier != TierGreedy {
+		t.Errorf("tier = %q, want %q under a generous cost threshold", o.Tier, TierGreedy)
+	}
+	verifyPlan(t, db, q, plan)
+
+	// An impossibly small ceiling rejects the greedy attempt: DP runs.
+	opts.GreedyCostThreshold = 1e-9
+	q2 := buildQuery(t, db, threeWay)
+	o2 := optimizer(q2, opts)
+	plan2, err := o2.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Tier != TierDP {
+		t.Errorf("tier = %q, want %q when greedy cost exceeds the ceiling", o2.Tier, TierDP)
+	}
+	// The DP plan must never cost more than the rejected greedy one.
+	_, cGreedy := plan.Estimate()
+	_, cDP := plan2.Estimate()
+	if cDP > cGreedy {
+		t.Errorf("DP cost %v exceeds greedy cost %v", cDP, cGreedy)
+	}
+}

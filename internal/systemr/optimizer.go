@@ -33,6 +33,18 @@ type Options struct {
 	DisableHashJoin  bool
 	// MaxRelations caps DP enumeration (beyond it, a greedy fallback runs).
 	MaxRelations int
+	// GreedyThreshold routes join blocks of up to this many relations to the
+	// greedy orderer instead of DP — the adaptive fast-path that trades a
+	// possibly worse join order for near-zero planning time on short
+	// statements. 0 disables it (DP up to MaxRelations, greedy beyond: the
+	// classical setup).
+	GreedyThreshold int
+	// GreedyCostThreshold, when > 0, orders every block greedily first and
+	// accepts the result if its estimated cost is at or below the threshold;
+	// costlier blocks fall through to full DP enumeration. This is the
+	// "estimated total cost is small" trigger: cheap statements skip DP even
+	// when they join more relations than GreedyThreshold.
+	GreedyCostThreshold float64
 }
 
 // DefaultOptions mirrors classical System R: linear joins, no Cartesian
@@ -48,12 +60,46 @@ type Metrics struct {
 	EntriesKept    int // plans retained after pruning
 }
 
+// Tier identifies which planning tier produced a plan — the adaptive
+// fast-path marker EXPLAIN surfaces.
+type Tier string
+
+// Planning tiers, ordered by enumeration effort.
+const (
+	// TierTrivial: no join block of two or more relations was ordered.
+	TierTrivial Tier = "trivial"
+	// TierGreedy: the greedy fast-path ordered every join block.
+	TierGreedy Tier = "greedy"
+	// TierGreedyFallback: greedy ran because a block exceeded MaxRelations
+	// (the classical overflow fallback, not the adaptive fast-path).
+	TierGreedyFallback Tier = "greedy-fallback"
+	// TierDP: at least one block paid for full DP enumeration.
+	TierDP Tier = "dp"
+)
+
+// tierRank orders tiers so a query touching several join blocks reports the
+// most expensive tier any of them used.
+func tierRank(t Tier) int {
+	switch t {
+	case TierGreedy:
+		return 1
+	case TierGreedyFallback:
+		return 2
+	case TierDP:
+		return 3
+	}
+	return 0
+}
+
 // Optimizer drives optimization of a logical query into a physical plan.
 type Optimizer struct {
 	Est     *stats.Estimator
 	Model   cost.Model
 	Opts    Options
 	Metrics Metrics
+	// Tier reports which planning tier produced the last Optimize call's
+	// plan (the most expensive tier when the query has several join blocks).
+	Tier Tier
 	// requiredOrder is the query's ORDER BY; the DP's final selection
 	// compares order-providing plans against cheapest-plus-sort (§3's
 	// payoff for retaining interesting orders).
@@ -74,8 +120,17 @@ func New(est *stats.Estimator, model cost.Model, opts Options) *Optimizer {
 func (o *Optimizer) Optimize(q *logical.Query) (physical.Plan, error) {
 	interesting := o.interestingCols(q)
 	o.requiredOrder = q.OrderBy
+	o.Tier = TierTrivial
 	defer func() { o.requiredOrder = nil }()
 	return o.optimizeRoot(q, interesting, o.optimize)
+}
+
+// noteTier records the planning tier one join block used, keeping the most
+// expensive across the query's blocks.
+func (o *Optimizer) noteTier(t Tier) {
+	if tierRank(t) > tierRank(o.Tier) {
+		o.Tier = t
+	}
 }
 
 // optimizeRoot applies the ORDER BY enforcer in the right place relative to

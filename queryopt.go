@@ -132,6 +132,37 @@ type Options struct {
 	// default of 128; negative disables the cache, so every Stmt execution
 	// re-optimizes at its bindings.
 	PlanCacheSize int
+	// GreedyJoinThreshold enables the adaptive greedy fast path: join blocks
+	// of up to this many relations are ordered by the O(k²) greedy heuristic
+	// instead of System-R dynamic programming, trading a possibly worse join
+	// order for much cheaper planning on short statements. Result.PlannerTier
+	// and EXPLAIN record which tier planned each query. 0 disables (DP runs
+	// for every block within SystemR.MaxRelations).
+	GreedyJoinThreshold int
+	// GreedyCostThreshold > 0 makes every join block try the greedy order
+	// first and keep it when its estimated cost is at or below the threshold;
+	// costlier blocks fall through to full DP. Complements
+	// GreedyJoinThreshold: one gates on block width, the other on how much
+	// execution is estimated to be at stake.
+	GreedyCostThreshold float64
+	// FeedbackPatching promotes analyzed-execution observations (EXPLAIN
+	// ANALYZE / QueryAnalyze) into per-(table, predicate) cardinality
+	// overrides the estimator consults before histogram estimates, closing
+	// §5's statistics loop with runtime truth. A materially changed override
+	// bumps the catalog version so stale cached plans re-optimize. Overrides
+	// only ever change estimates — plan choice, never results.
+	FeedbackPatching bool
+	// ReplanQErrorThreshold > 1 arms the re-optimization trigger: when an
+	// analyzed execution's worst per-node q-error exceeds the threshold, the
+	// next execution of that statement family re-optimizes instead of
+	// dispatching from the plan-cache diagram.
+	ReplanQErrorThreshold float64
+	// IncrementalStats maintains statistics incrementally on INSERT/LoadRows
+	// (row and null counts, histogram insertions via incremental
+	// widen/split/merge maintenance) instead of leaving them frozen until the
+	// next ANALYZE. Default off: plans then see exactly the statistics the
+	// last ANALYZE built.
+	IncrementalStats bool
 }
 
 // VectorizeMode selects between the columnar batch path and pure row
@@ -187,10 +218,11 @@ type Engine struct {
 	// (CREATE, INSERT, ANALYZE) hold it exclusive. Plans never observe a
 	// half-applied DDL.
 	mu sync.RWMutex
-	// catVersion counts catalog shape and statistics changes (DDL, ANALYZE —
-	// not INSERT, which leaves cached plans correct, only possibly stale in
-	// quality until the next ANALYZE). Cached plan diagrams remember the
-	// version they were built under and re-optimize when it moves.
+	// catVersion counts catalog shape and statistics changes (DDL, ANALYZE,
+	// and materially changed feedback overrides — not INSERT, which leaves
+	// cached plans correct, only possibly stale in quality until the next
+	// ANALYZE). Cached plan diagrams remember the version they were built
+	// under and re-optimize when it moves.
 	catVersion atomic.Uint64
 	// admitCh is the admission semaphore (nil = unbounded).
 	admitCh chan struct{}
@@ -201,6 +233,14 @@ type Engine struct {
 	// accounting at plan granularity is in cacheHits/cacheMisses.
 	plans                 *plancache.Cache
 	cacheHits, cacheMisses atomic.Int64
+
+	// overrides holds feedback-patched cardinalities harvested from analyzed
+	// executions (nil unless Options.FeedbackPatching).
+	overrides *stats.Overrides
+	// replanMu guards replan: statement fingerprints marked by the q-error
+	// trigger for forced re-optimization, consumed by the next execution.
+	replanMu sync.Mutex
+	replan   map[string]struct{}
 }
 
 type udf struct {
@@ -221,11 +261,23 @@ func New(opts Options) *Engine {
 	if opts.FeedbackCapacity == 0 {
 		opts.FeedbackCapacity = 1024
 	}
+	// The adaptive greedy fast path lives in the System-R enumerator; the
+	// engine-level knobs map onto its options.
+	if opts.GreedyJoinThreshold > 0 {
+		opts.SystemR.GreedyThreshold = opts.GreedyJoinThreshold
+	}
+	if opts.GreedyCostThreshold > 0 {
+		opts.SystemR.GreedyCostThreshold = opts.GreedyCostThreshold
+	}
 	eng := &Engine{
 		opts:     opts,
 		cat:      catalog.New(),
 		store:    storage.NewStore(),
 		feedback: physical.NewFeedbackRing(opts.FeedbackCapacity),
+		replan:   make(map[string]struct{}),
+	}
+	if opts.FeedbackPatching {
+		eng.overrides = stats.NewOverrides()
 	}
 	// The pool is created eagerly: lazy creation from concurrent first
 	// queries would race, and an eager pool makes Close's drain guarantee
@@ -305,6 +357,12 @@ type Result struct {
 	Stats ExecStats
 	// UsedMaterializedView names the view substituted, if any.
 	UsedMaterializedView string
+	// PlannerTier records which planning tier produced the executed plan:
+	// "trivial" (no join ordering needed), "greedy", "greedy-fallback" (block
+	// wider than MaxRelations), "dp" for System-R/Starburst; "full" for
+	// Cascades; "cached" when a prepared execution dispatched a plan-cache
+	// diagram. Empty for DDL and reference mode.
+	PlannerTier string
 }
 
 // ExecStats are measured execution counters (simulated I/O model).
@@ -357,7 +415,7 @@ func (e *Engine) ExecContext(ctx context.Context, text string) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return e.execStmt(ctx, stmt, false)
+	return e.execStmt(ctx, stmt, false, text)
 }
 
 // MustExec is Exec for setup code paths; it panics on error.
@@ -396,7 +454,7 @@ func (e *Engine) writeStmt(bumpVersion bool, fn func() (*Result, error)) (*Resul
 	return res, err
 }
 
-func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, explain bool) (*Result, error) {
+func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, explain bool, text string) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sql.CreateTableStmt:
 		return e.writeStmt(true, func() (*Result, error) { return e.createTable(t) })
@@ -414,7 +472,7 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, explain bool)
 			if !ok {
 				return nil, fmt.Errorf("queryopt: EXPLAIN ANALYZE supports SELECT statements only")
 			}
-			res, pa, err := e.run(ctx, sel, false, true)
+			res, pa, err := e.run(ctx, sel, false, true, text)
 			if err != nil {
 				return nil, err
 			}
@@ -426,15 +484,16 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, explain bool)
 				EstRows: res.EstRows, EstCost: res.EstCost,
 				Stats:                res.Stats,
 				UsedMaterializedView: res.UsedMaterializedView,
+				PlannerTier:          res.PlannerTier,
 			}
 			for _, line := range strings.Split(strings.TrimRight(pa.Text, "\n"), "\n") {
 				out.Rows = append(out.Rows, []any{line})
 			}
 			return out, nil
 		}
-		return e.execStmt(ctx, t.Stmt, true)
+		return e.execStmt(ctx, t.Stmt, true, text)
 	case *sql.SelectStmt:
-		return e.query(ctx, t, explain)
+		return e.query(ctx, t, explain, text)
 	}
 	return nil, fmt.Errorf("queryopt: unsupported statement %T", stmt)
 }
@@ -536,6 +595,9 @@ func (e *Engine) insert(t *sql.InsertStmt) (*Result, error) {
 		if err := tab.Insert(row); err != nil {
 			return nil, err
 		}
+		if e.opts.IncrementalStats {
+			e.maintainStats(tab.Def, row)
+		}
 	}
 	return &Result{}, nil
 }
@@ -592,16 +654,19 @@ func (e *Engine) Build(sel *sql.SelectStmt) (*logical.Query, error) {
 	return q, nil
 }
 
-func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt, explain bool) (*Result, error) {
-	res, _, err := e.run(ctx, sel, explain, false)
+func (e *Engine) query(ctx context.Context, sel *sql.SelectStmt, explain bool, text string) (*Result, error) {
+	res, _, err := e.run(ctx, sel, explain, false, text)
 	return res, err
 }
 
 // run optimizes and (unless explain) executes one SELECT. With analyze set,
 // execution collects per-operator runtime metrics, the metrics tree is
-// returned alongside the result, and every (node, est, actual) pair is
-// recorded into the engine's feedback ring.
-func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze bool) (*Result, *PlanAnalysis, error) {
+// returned alongside the result, every (node, est, actual) pair is recorded
+// into the engine's feedback ring, and — when the adaptive options are on —
+// scan observations are harvested into cardinality overrides and bad plans
+// are marked for re-optimization. text is the original statement text, used
+// to key the feedback by statement family.
+func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze bool, text string) (*Result, *PlanAnalysis, error) {
 	// Admission first (queue without holding any latch), then the shared
 	// latch for the whole build-optimize-execute span: a SELECT never
 	// observes a half-applied DDL, and version checks against cached plans
@@ -647,20 +712,20 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze 
 
 	var bestPlan physical.Plan
 	var bestQ *logical.Query
-	bestMV := ""
+	bestMV, bestTier := "", ""
 	for _, alt := range alts {
 		logical.PruneColumns(alt.q)
-		plan, err := e.optimizeOne(alt.q)
+		plan, tier, err := e.optimizeOne(alt.q)
 		if err != nil {
 			return nil, nil, err
 		}
 		_, c := plan.Estimate()
 		if bestPlan == nil {
-			bestPlan, bestQ, bestMV = plan, alt.q, alt.mv
+			bestPlan, bestQ, bestMV, bestTier = plan, alt.q, alt.mv, tier
 			continue
 		}
 		if _, bc := bestPlan.Estimate(); c < bc {
-			bestPlan, bestQ, bestMV = plan, alt.q, alt.mv
+			bestPlan, bestQ, bestMV, bestTier = plan, alt.q, alt.mv, tier
 		}
 	}
 
@@ -676,7 +741,12 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze 
 	}
 
 	if explain {
-		res := &Result{Columns: []string{"plan"}}
+		res := &Result{Columns: []string{"plan"}, PlannerTier: bestTier}
+		// With an adaptive fast path configured, EXPLAIN says which tier
+		// planned the query; without one, the output is unchanged.
+		if e.opts.GreedyJoinThreshold > 0 || e.opts.GreedyCostThreshold > 0 {
+			res.Rows = append(res.Rows, []any{"-- planner: " + bestTier})
+		}
 		for _, line := range strings.Split(strings.TrimRight(physical.Format(bestPlan, bestQ.Meta), "\n"), "\n") {
 			res.Rows = append(res.Rows, []any{line})
 		}
@@ -694,10 +764,24 @@ func (e *Engine) run(ctx context.Context, sel *sql.SelectStmt, explain, analyze 
 		return nil, nil, err
 	}
 	out := e.finish(bestQ, bestPlan, res, ec, bestMV)
+	out.PlannerTier = bestTier
 	var pa *PlanAnalysis
 	if analyze {
+		fp, fpErr := sql.Fingerprint(text)
+		if fpErr != nil || fp == "" {
+			fp = text
+		}
 		pa = buildAnalysis(bestPlan, bestQ.Meta, metrics)
-		e.feedback.RecordPlan(bestPlan, bestQ.Meta, metrics)
+		e.feedback.RecordPlan(bestPlan, bestQ.Meta, metrics, fp)
+		if e.overrides != nil && e.harvestOverrides(bestPlan, bestQ.Meta, metrics) {
+			// A materially changed override invalidates cached plan diagrams
+			// the same way DDL/ANALYZE do. catVersion is atomic, so bumping
+			// under the shared latch is safe.
+			e.catVersion.Add(1)
+		}
+		if thr := e.opts.ReplanQErrorThreshold; thr > 1 && pa.WorstQError > thr {
+			e.markReplan(fp)
+		}
 	}
 	return out, pa, nil
 }
@@ -730,24 +814,38 @@ func (e *Engine) costModel() cost.Model {
 	return cost.DefaultModel()
 }
 
-func (e *Engine) optimizeOne(q *logical.Query) (physical.Plan, error) {
+// newEstimator builds the statistics estimator for one query, wired to the
+// engine's feedback-patched cardinality overrides when FeedbackPatching is on
+// (e.overrides is nil otherwise, which the estimator treats as absent).
+func (e *Engine) newEstimator(md *logical.Metadata) *stats.Estimator {
+	est := stats.NewEstimator(md)
+	est.Overrides = e.overrides
+	return est
+}
+
+// optimizeOne optimizes a logical query and reports the planning tier that
+// produced the plan (see Result.PlannerTier).
+func (e *Engine) optimizeOne(q *logical.Query) (physical.Plan, string, error) {
 	model := e.costModel()
 	switch e.opts.Optimizer {
 	case SystemR:
-		opt := systemr.New(stats.NewEstimator(q.Meta), model, e.opts.SystemR)
-		return opt.Optimize(q)
+		opt := systemr.New(e.newEstimator(q.Meta), model, e.opts.SystemR)
+		plan, err := opt.Optimize(q)
+		return plan, string(opt.Tier), err
 	case Starburst:
+		inner := systemr.New(e.newEstimator(q.Meta), model, e.opts.SystemR)
 		opt := &qgm.Optimizer{
 			Engine: qgm.DefaultEngine(),
-			Plan:   systemr.New(stats.NewEstimator(q.Meta), model, e.opts.SystemR),
+			Plan:   inner,
 		}
 		plan, _, err := opt.Optimize(q)
-		return plan, err
+		return plan, string(inner.Tier), err
 	case Cascades:
-		opt := cascadesopt.New(stats.NewEstimator(q.Meta), model, e.opts.Cascades)
-		return opt.Optimize(q)
+		opt := cascadesopt.New(e.newEstimator(q.Meta), model, e.opts.Cascades)
+		plan, err := opt.Optimize(q)
+		return plan, "full", err
 	}
-	return nil, fmt.Errorf("queryopt: unknown optimizer %v", e.opts.Optimizer)
+	return nil, "", fmt.Errorf("queryopt: unknown optimizer %v", e.opts.Optimizer)
 }
 
 func (e *Engine) finish(q *logical.Query, plan physical.Plan, res *exec.Result, ctx *exec.Ctx, mv string) *Result {
@@ -822,6 +920,9 @@ func (e *Engine) LoadRows(table string, rows [][]any) error {
 		}
 		if err := tab.Insert(dr); err != nil {
 			return err
+		}
+		if e.opts.IncrementalStats {
+			e.maintainStats(tab.Def, dr)
 		}
 	}
 	return nil

@@ -32,6 +32,7 @@ type Stmt struct {
 	e       *Engine
 	text    string
 	norm    string
+	fp      string // statement-family fingerprint (replan-trigger key)
 	nParams int
 	sel     *sql.SelectStmt
 }
@@ -53,6 +54,10 @@ func (e *Engine) Prepare(text string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	fp, err := sql.Fingerprint(text)
+	if err != nil || fp == "" {
+		fp = norm
+	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -61,7 +66,7 @@ func (e *Engine) Prepare(text string) (*Stmt, error) {
 	if !ok {
 		return nil, fmt.Errorf("queryopt: Prepare supports SELECT statements only, got %T", stmt)
 	}
-	return &Stmt{e: e, text: text, norm: norm, nParams: nParams, sel: sel}, nil
+	return &Stmt{e: e, text: text, norm: norm, fp: fp, nParams: nParams, sel: sel}, nil
 }
 
 // Exec runs the prepared statement with the given arguments (native Go
@@ -102,13 +107,18 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
+	// The q-error trigger consumes at most one replan mark per statement
+	// family: this execution re-optimizes (seeing any feedback-patched
+	// statistics) instead of dispatching the cached diagram.
+	replan := e.consumeReplan(s.fp)
+
 	if e.plans == nil {
 		e.cacheMisses.Add(1)
-		q, plan, err := e.planBound(s.sel, binds)
+		q, plan, tier, err := e.planBound(s.sel, binds)
 		if err != nil {
 			return nil, err
 		}
-		return e.executePlan(ctx, plan, q)
+		return e.executePlanTier(ctx, plan, q, tier)
 	}
 
 	ver := e.catVersion.Load()
@@ -116,9 +126,10 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 	ce := slot.(*cacheEntry)
 
 	ce.mu.Lock()
-	if ce.version != ver {
-		// DDL or ANALYZE moved the catalog since this diagram was built:
-		// every cached plan may now be invalid or stale — drop and regrow.
+	if ce.version != ver || replan {
+		// DDL, ANALYZE or a material feedback override moved the catalog
+		// since this diagram was built, or the replan trigger fired: every
+		// cached plan may now be invalid or stale — drop and regrow.
 		ce.diagram = nil
 		ce.uncacheable = false
 		ce.version = ver
@@ -135,11 +146,11 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 		// Re-bind, never mutate: the cached plan is shared by every
 		// concurrent execution of this entry.
 		bound := physical.BindParams(box.Plan, binds)
-		return e.executePlan(ctx, bound, box.Query)
+		return e.executePlanTier(ctx, bound, box.Query, "cached")
 	}
 
 	e.cacheMisses.Add(1)
-	q, plan, err := e.planBound(s.sel, binds)
+	q, plan, tier, err := e.planBound(s.sel, binds)
 	if err != nil {
 		return nil, err
 	}
@@ -168,13 +179,14 @@ func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 			ce.mu.Unlock()
 		}
 	}
-	return e.executePlan(ctx, plan, q)
+	return e.executePlanTier(ctx, plan, q, tier)
 }
 
 // planBound builds, rewrites and optimizes the statement at concrete
 // bindings, leaving parameter tags on every substituted constant so the
-// resulting plan can be re-bound later. Callers hold the shared latch.
-func (e *Engine) planBound(sel *sql.SelectStmt, binds []datum.D) (*logical.Query, physical.Plan, error) {
+// resulting plan can be re-bound later. It also reports the planning tier
+// that produced the plan. Callers hold the shared latch.
+func (e *Engine) planBound(sel *sql.SelectStmt, binds []datum.D) (*logical.Query, physical.Plan, string, error) {
 	b := logical.NewBuilder(e.cat)
 	for _, u := range e.udfs {
 		b.RegisterUDP(u.name, u.cost, u.sel, u.fn)
@@ -182,7 +194,7 @@ func (e *Engine) planBound(sel *sql.SelectStmt, binds []datum.D) (*logical.Query
 	b.BindParams(binds)
 	q, err := b.Build(sel)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	logical.NormalizeQuery(q, logical.DefaultNormalize())
 	if !e.opts.DisableRewrites && e.opts.Optimizer != Starburst {
@@ -193,9 +205,9 @@ func (e *Engine) planBound(sel *sql.SelectStmt, binds []datum.D) (*logical.Query
 		logical.NormalizeQuery(q, logical.DefaultNormalize())
 	}
 	logical.PruneColumns(q)
-	plan, err := e.optimizeOne(q)
+	plan, tier, err := e.optimizeOne(q)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	// Cache the post-Parallelize plan: BindParams copies Exchange nodes like
 	// any other, and executions skip re-planning the exchanges too.
@@ -206,7 +218,7 @@ func (e *Engine) planBound(sel *sql.SelectStmt, binds []datum.D) (*logical.Query
 			CommCostPerRow: model.CommCostPerRow,
 		}, model).Plan
 	}
-	return q, plan, nil
+	return q, plan, tier, nil
 }
 
 // executePlan runs an already-optimized plan under the engine's resource
@@ -218,6 +230,17 @@ func (e *Engine) executePlan(ctx context.Context, plan physical.Plan, q *logical
 		return nil, err
 	}
 	return e.finish(q, plan, res, ec, ""), nil
+}
+
+// executePlanTier is executePlan with the planning tier stamped on the
+// result ("cached" for plan-cache dispatches).
+func (e *Engine) executePlanTier(ctx context.Context, plan physical.Plan, q *logical.Query, tier string) (*Result, error) {
+	res, err := e.executePlan(ctx, plan, q)
+	if err != nil {
+		return nil, err
+	}
+	res.PlannerTier = tier
+	return res, nil
 }
 
 // typeSig fingerprints the parameter kinds: bindings with different type
