@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench adaptive-bench bench-smoke
+.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench adaptive-bench storage-bench bench-smoke
 
 build:
 	go build ./...
@@ -50,16 +50,25 @@ serving-bench:
 adaptive-bench:
 	go run ./cmd/benchharness adaptive
 
+# Disk-backed columnar segment sweep: cold/warm scans at selectivities
+# 0.001/0.1/1.0 with zone-map pruning on and off; writes BENCH_storage.json.
+# E27 at full size.
+storage-bench:
+	go run ./cmd/benchharness storage
+
 # bench-smoke is the fast perf gate: a reduced-size E24 run (row-vs-vectorized
 # must still report identical results), a tiny E25 serving sweep under the
 # race detector (all three modes must still report identical results), a
 # reduced E26 adaptive sweep under the race detector (greedy and DP arms must
-# still report identical results), and the executor suite under -race. CI runs
-# this on every push; it finishes in well under a minute.
+# still report identical results), a reduced E27 storage sweep under the race
+# detector (disk reads must be bit-identical to memory), and the executor
+# suite under -race. CI runs this on every push; it finishes in well under a
+# minute.
 bench-smoke:
 	go run ./cmd/benchharness vectorized 20000
 	GOMAXPROCS=4 go run -race ./cmd/benchharness serving 1000 8
 	GOMAXPROCS=4 go run -race ./cmd/benchharness adaptive 40 2000
+	GOMAXPROCS=4 go run -race ./cmd/benchharness storage 30000
 	go test -race -count=1 ./internal/exec/...
 
 # Fault-injection, cancellation, spill and goroutine-leak suites under the

@@ -1,4 +1,4 @@
-// Command benchharness regenerates every table of the reproduction (E1–E26,
+// Command benchharness regenerates every table of the reproduction (E1–E27,
 // mapped to the paper's figures and claims in DESIGN.md). Run with no
 // arguments for everything, or pass experiment ids:
 //
@@ -17,6 +17,10 @@
 //	                                     # concurrent sessions: exec-literal vs
 //	                                     # prepared-reoptimize vs prepared-cached
 //	                                     # → BENCH_serving.json
+//	go run ./cmd/benchharness storage [rows]
+//	                                     # disk-backed columnar segments: cold/warm
+//	                                     # scans, pruned vs unpruned, selectivity
+//	                                     # sweep → BENCH_storage.json
 //	go run ./cmd/benchharness adaptive [queries] [rows]
 //	                                     # greedy fast path vs full DP: planning
 //	                                     # time, execution time, identical results
@@ -132,6 +136,29 @@ func vectorizedBench(rows int) error {
 	return nil
 }
 
+// storageBench runs the disk-backed columnar segment sweep and writes
+// BENCH_storage.json: cold and warm scan wall-clock at selectivities
+// 0.001/0.1/1.0 with zone-map pruning on and off, the segments read/pruned
+// counts and cold bytes read, plus the bit-identical flag against the
+// in-memory heap.
+func storageBench(rows int) error {
+	res := experiments.RunStorageBench(rows, 0, 3)
+	for _, w := range res.Workloads {
+		fmt.Printf("sel=%-6.3f %-9s segs=%d/%d pruned  cold=%.3fs  warm=%.3fs  mem=%.3fs  bytes=%d  identical=%v\n",
+			w.Selectivity, w.Arm, w.SegmentsRead, w.SegmentsPruned, w.ColdWallSec, w.WarmWallSec, w.MemWallSec, w.ColdBytesRead, w.Identical)
+	}
+	fmt.Printf("rows=%d segment_rows=%d gomaxprocs=%d cpus=%d\n", res.Rows, res.SegmentRows, res.GOMAXPROCS, res.CPUs)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_storage.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_storage.json")
+	return nil
+}
+
 // servingBench runs the concurrent serving sweep and writes
 // BENCH_serving.json: qps and latency percentiles at 1/8/64/256 sessions for
 // plain Exec, prepared statements without the plan cache, and prepared
@@ -242,6 +269,21 @@ func main() {
 		fmt.Printf("vectorized bench completed in %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "storage" {
+		rows := 200000
+		if len(os.Args) > 2 {
+			if _, err := fmt.Sscanf(os.Args[2], "%d", &rows); err != nil {
+				fmt.Fprintf(os.Stderr, "bad row count %q: %v\n", os.Args[2], err)
+				os.Exit(1)
+			}
+		}
+		if err := storageBench(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("storage bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "robustness" {
 		if err := robustnessBench(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -270,7 +312,7 @@ func main() {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E26)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E27)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

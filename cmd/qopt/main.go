@@ -36,12 +36,16 @@ func main() {
 	planCache := flag.String("plancache", "on", "parameterized plan cache for prepared statements: on | off")
 	greedyThreshold := flag.Int("greedy-threshold", 0, "adaptive greedy fast path: join blocks of up to this many relations skip DP (0 = off)")
 	replanQError := flag.Float64("replan-qerror", 0, "re-optimize a statement after an analyzed run whose worst q-error exceeds this (0 = off; implies feedback patching)")
+	storageDir := flag.String("storage-dir", "", "persist tables as columnar segments under this directory (empty = in-memory)")
+	segmentRows := flag.Int("segment-rows", 0, "rows per sealed segment with -storage-dir (0 = default 4096)")
 	flag.Parse()
 
 	opts := queryopt.Options{
 		UseMaterializedViews: *useMV, Parallelism: *par, MemBudget: *memBudget,
 		GreedyJoinThreshold:   *greedyThreshold,
 		ReplanQErrorThreshold: *replanQError,
+		StorageDir:            *storageDir,
+		SegmentRows:           *segmentRows,
 		FeedbackPatching:      *replanQError > 0,
 	}
 	if !*vectorize {
@@ -241,6 +245,9 @@ func runStmt(eng *queryopt.Engine, stmt string, analyze bool, timeout time.Durat
 		}
 		if res.Stats.Spills > 0 {
 			fmt.Printf(", %d spills (%d bytes)", res.Stats.Spills, res.Stats.SpillBytes)
+		}
+		if res.Stats.SegmentsRead > 0 || res.Stats.SegmentsPruned > 0 {
+			fmt.Printf(", %d/%d segments read", res.Stats.SegmentsRead, res.Stats.SegmentsRead+res.Stats.SegmentsPruned)
 		}
 		if res.UsedMaterializedView != "" {
 			fmt.Printf(", via matview %s", res.UsedMaterializedView)

@@ -18,7 +18,14 @@ import (
 // randSchema builds one engine with seeded random data.
 func randSchema(t *testing.T, kind OptimizerKind, seed int64) *Engine {
 	t.Helper()
-	e := New(Options{Optimizer: kind})
+	return randSchemaWith(t, Options{Optimizer: kind}, seed)
+}
+
+// randSchemaWith is randSchema with full control over engine options (used by
+// the disk-backed storage equivalence tests).
+func randSchemaWith(t *testing.T, opts Options, seed int64) *Engine {
+	t.Helper()
+	e := New(opts)
 	e.MustExec(`CREATE TABLE r (pk INT NOT NULL, fk INT, a INT, s VARCHAR, f FLOAT, PRIMARY KEY (pk))`)
 	e.MustExec(`CREATE TABLE t (pk INT NOT NULL, fk INT, a INT, s VARCHAR, f FLOAT, PRIMARY KEY (pk))`)
 	e.MustExec(`CREATE TABLE u (pk INT NOT NULL, a INT, s VARCHAR, PRIMARY KEY (pk))`)

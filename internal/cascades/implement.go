@@ -243,11 +243,9 @@ func (o *Optimizer) implement(g *Group, e *MExpr, rows float64, required logical
 
 // scanPaths mirrors access-path selection for a (possibly filtered) scan.
 func (o *Optimizer) scanPaths(scan *logical.Scan, filters []logical.Scalar, outRows float64) []physical.Plan {
-	var tableRows, tablePages float64 = 1, 1
-	if scan.Table.Stats != nil {
-		tableRows = scan.Table.Stats.RowCount
-		tablePages = math.Max(1, scan.Table.Stats.PageCount)
-	}
+	// TableShape charges the seq-scan only the pages left after zone-map
+	// segment elimination under these filters.
+	tableRows, tablePages := o.Est.TableShape(scan, filters)
 	ords := make([]int, len(scan.Cols))
 	for i, id := range scan.Cols {
 		ords[i] = o.Est.Meta.Column(id).BaseOrd
@@ -495,11 +493,8 @@ func (o *Optimizer) groupScan(g *Group) (*logical.Scan, []logical.Scalar, bool) 
 // inlPlan builds an index nested-loop plan if an index matches, else nil.
 func (o *Optimizer) inlPlan(kind logical.JoinKind, lw *winner, scan *logical.Scan, filters []logical.Scalar,
 	lKeys, rKeys []logical.ColumnID, extras []logical.Scalar, rows float64) physical.Plan {
-	var tableRows, tablePages float64 = 1, 1
-	if scan.Table.Stats != nil {
-		tableRows = scan.Table.Stats.RowCount
-		tablePages = math.Max(1, scan.Table.Stats.PageCount)
-	}
+	// Index probes fetch by row ID; pruning does not apply, so no filters.
+	tableRows, tablePages := o.Est.TableShape(scan, nil)
 	rStats := o.Est.Stats(scan)
 	var bestPlan physical.Plan
 	bestCost := math.Inf(1)

@@ -70,6 +70,20 @@ func NewAnyVec(capacity int) *Vec {
 	return &Vec{anyKind: true, Ds: make([]D, 0, capacity)}
 }
 
+// NewTypedVec assembles a typed vector directly from its parts — the decode
+// path of the columnar segment format, which reads whole payload slices and
+// must not pay a per-value append. Exactly one payload slice matching k must
+// be populated (none for KindNull); NULL slots must hold the payload's zero
+// value, and nulls may be nil when numNulls is 0.
+func NewTypedVec(k Kind, n int, ints []int64, floats []float64, strs []string, nulls Bitmap, numNulls int) *Vec {
+	return &Vec{kind: k, n: n, Ints: ints, Floats: floats, Strs: strs, nulls: nulls, numNulls: numNulls}
+}
+
+// NewBoxedVec wraps datums in a boxed vector without copying.
+func NewBoxedVec(ds []D) *Vec {
+	return &Vec{anyKind: true, n: len(ds), Ds: ds}
+}
+
 func (v *Vec) grow(capacity int) {
 	if capacity <= 0 {
 		return
@@ -244,6 +258,103 @@ func (v *Vec) D(i int) D {
 
 // AppendVec appends row i of src (any representation) to v.
 func (v *Vec) AppendVec(src *Vec, i int) { v.AppendD(src.D(i)) }
+
+// AppendRange appends rows [lo, hi) of src to v. When both vectors share the
+// same typed representation the payload is bulk-copied with one append and
+// only the NULL bits are walked; mismatched or boxed representations fall
+// back to per-row AppendD (which upgrades v as needed).
+func (v *Vec) AppendRange(src *Vec, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	if v.anyKind || src.anyKind || v.kind != src.kind || v.kind == KindNull {
+		for i := lo; i < hi; i++ {
+			v.AppendD(src.D(i))
+		}
+		return
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		v.Ints = append(v.Ints, src.Ints[lo:hi]...)
+	case KindFloat:
+		v.Floats = append(v.Floats, src.Floats[lo:hi]...)
+	case KindString:
+		v.Strs = append(v.Strs, src.Strs[lo:hi]...)
+	}
+	if src.numNulls > 0 {
+		for i := lo; i < hi; i++ {
+			if src.nulls.Get(i) {
+				v.nulls.Set(v.n + i - lo)
+				v.numNulls++
+			}
+		}
+	}
+	v.n += hi - lo
+}
+
+// AppendRowsCol appends column ord of each row to v — the bulk form of
+// AppendD for heap scans. Rows whose value already matches v's typed
+// representation skip AppendD's per-value dynamic-kind dispatch; the first
+// stray kind (numeric coercion allows them) falls back to AppendD for the
+// remainder of the slice.
+func (v *Vec) AppendRowsCol(rows []Row, ord int) {
+	if v.anyKind {
+		for _, r := range rows {
+			v.Ds = append(v.Ds, r[ord])
+		}
+		v.n += len(rows)
+		return
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		for ri, r := range rows {
+			d := r[ord]
+			if d.k == v.kind {
+				v.Ints = append(v.Ints, d.i)
+				v.n++
+			} else if d.k == KindNull {
+				v.AppendNull()
+			} else {
+				v.appendRowsColSlow(rows[ri:], ord)
+				return
+			}
+		}
+	case KindFloat:
+		for ri, r := range rows {
+			d := r[ord]
+			if d.k == KindFloat {
+				v.Floats = append(v.Floats, d.f)
+				v.n++
+			} else if d.k == KindNull {
+				v.AppendNull()
+			} else {
+				v.appendRowsColSlow(rows[ri:], ord)
+				return
+			}
+		}
+	case KindString:
+		for ri, r := range rows {
+			d := r[ord]
+			if d.k == KindString {
+				v.Strs = append(v.Strs, d.s)
+				v.n++
+			} else if d.k == KindNull {
+				v.AppendNull()
+			} else {
+				v.appendRowsColSlow(rows[ri:], ord)
+				return
+			}
+		}
+	default:
+		v.appendRowsColSlow(rows, ord)
+	}
+}
+
+func (v *Vec) appendRowsColSlow(rows []Row, ord int) {
+	for _, r := range rows {
+		v.AppendD(r[ord])
+	}
+}
 
 // DataBytes returns the modeled width of the rows selected by sel (all rows
 // when sel is nil), matching D.Size over the reconstructed datums — used so

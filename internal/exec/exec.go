@@ -29,6 +29,13 @@ type Counters struct {
 	ExchangedRows int64 // rows crossing exchange operators
 	Spills        int64 // spill files written by budget-degraded operators
 	SpillBytes    int64 // bytes written to spill files
+
+	// Disk-backed storage (zero for in-memory tables): columnar segments a
+	// scan read vs eliminated by zone maps, and real segment-file bytes read
+	// from disk (cache misses only).
+	SegmentsRead   int64
+	SegmentsPruned int64
+	BytesRead      int64
 }
 
 // Ctx is the runtime context shared by all operators of one execution.
@@ -75,6 +82,10 @@ type Ctx struct {
 	// column vectors; everything else falls back to the row engine
 	// automatically. NewCtx turns it on; a zero-value Ctx runs rows only.
 	Vectorize bool
+	// NoPrune disables zone-map segment elimination on disk-backed tables
+	// (every segment is read and filtered) — the control arm of the storage
+	// benchmarks. No effect on in-memory tables.
+	NoPrune bool
 	// Metrics, when non-nil, collects per-operator runtime metrics (EXPLAIN
 	// ANALYZE): actual rows, invocations, morsel batches, wall time, peak
 	// buffered rows and per-worker row counts. Enable with EnableAnalyze.
@@ -124,6 +135,76 @@ func (c *Ctx) noteSpill(files, bytes int64) {
 	if c.curNode != nil {
 		c.curNode.NoteSpill(files, bytes)
 	}
+}
+
+// noteSegments records segment-elimination outcomes against both the
+// execution counters and the operator currently being analyzed.
+func (c *Ctx) noteSegments(read, pruned int64) {
+	c.Counters.SegmentsRead += read
+	c.Counters.SegmentsPruned += pruned
+	if c.curNode != nil {
+		c.curNode.SegmentsRead += read
+		c.curNode.SegmentsPruned += pruned
+	}
+}
+
+// noteReadBytes records real segment-file bytes a storage call read from
+// disk. Workers accumulate into their private counters; the coordinator's
+// runWorkers barrier folds the total into the analyzed node.
+func (c *Ctx) noteReadBytes(n int64) {
+	if n == 0 {
+		return
+	}
+	c.Counters.BytesRead += n
+	if c.curNode != nil {
+		c.curNode.BytesRead += n
+	}
+}
+
+// The storage read API takes a per-call ScanCtx carrying the fault injector
+// and returning real bytes read; these wrappers thread both ends so
+// operators keep one-line call sites.
+
+func (c *Ctx) tableRows(tab *storage.Table) ([]datum.Row, error) {
+	sc := storage.ScanCtx{Faults: c.Faults}
+	rows, err := tab.Rows(&sc)
+	c.noteReadBytes(sc.BytesRead)
+	return rows, err
+}
+
+func (c *Ctx) rowsRange(tab *storage.Table, lo, hi int) ([]datum.Row, error) {
+	sc := storage.ScanCtx{Faults: c.Faults}
+	rows, err := tab.RowsRange(&sc, lo, hi)
+	c.noteReadBytes(sc.BytesRead)
+	return rows, err
+}
+
+func (c *Ctx) rowAt(tab *storage.Table, id int) (datum.Row, error) {
+	sc := storage.ScanCtx{Faults: c.Faults}
+	r, err := tab.Row(&sc, id)
+	c.noteReadBytes(sc.BytesRead)
+	return r, err
+}
+
+func (c *Ctx) colValue(tab *storage.Table, id, ord int) (datum.D, error) {
+	sc := storage.ScanCtx{Faults: c.Faults}
+	d, err := tab.ColValue(&sc, id, ord)
+	c.noteReadBytes(sc.BytesRead)
+	return d, err
+}
+
+func (c *Ctx) fillRange(tab *storage.Table, ord, lo, hi int, v *datum.Vec) error {
+	sc := storage.ScanCtx{Faults: c.Faults}
+	err := tab.FillColumnRange(&sc, ord, lo, hi, v)
+	c.noteReadBytes(sc.BytesRead)
+	return err
+}
+
+func (c *Ctx) fillIDs(tab *storage.Table, ord int, ids []int, v *datum.Vec) error {
+	sc := storage.ScanCtx{Faults: c.Faults}
+	err := tab.FillColumnIDs(&sc, ord, ids, v)
+	c.noteReadBytes(sc.BytesRead)
+	return err
 }
 
 // canceled returns the context's error once the execution has been canceled
@@ -183,7 +264,7 @@ func (c *Ctx) child() *Ctx {
 	return &Ctx{
 		Store: c.Store, Meta: c.Meta, Buffer: NewPageBuffer(c.Buffer.Cap()),
 		Context: c.Context, Mem: c.Mem, Faults: c.Faults, TempDir: c.TempDir,
-		Vectorize: c.Vectorize,
+		Vectorize: c.Vectorize, NoPrune: c.NoPrune,
 	}
 }
 
@@ -199,6 +280,9 @@ func (cs *Counters) add(o Counters) {
 	cs.ExchangedRows += o.ExchangedRows
 	cs.Spills += o.Spills
 	cs.SpillBytes += o.SpillBytes
+	cs.SegmentsRead += o.SegmentsRead
+	cs.SegmentsPruned += o.SegmentsPruned
+	cs.BytesRead += o.BytesRead
 }
 
 // PageBuffer is a FIFO page cache keyed by (table, page number).

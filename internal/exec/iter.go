@@ -221,13 +221,20 @@ func (c *Ctx) runTableScan(t *physical.TableScan) ([]datum.Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
 	}
+	if pruner := c.buildPruner(tab, t.Filter, t.Cols, t.ColOrds); pruner != nil {
+		return c.runTableScanSegments(t, tab, pruner)
+	}
 	c.touchScan(tab)
-	if rows := tab.Rows(); c.parallel() && len(rows) >= minParallelRows {
+	rows, err := c.tableRows(tab)
+	if err != nil {
+		return nil, err
+	}
+	if c.parallel() && len(rows) >= minParallelRows {
 		return c.scanRowsParallel(rows, t.Cols, t.ColOrds, t.Filter)
 	}
 	var out []datum.Row
 	e := newEnv(t.Cols, nil)
-	for i, r := range tab.Rows() {
+	for i, r := range rows {
 		// One checkpoint per batch of MorselSize rows — the same cadence (and
 		// fault-injection op stream) as the parallel scan's morsels.
 		if i%MorselSize == 0 {
@@ -252,6 +259,65 @@ func (c *Ctx) runTableScan(t *physical.TableScan) ([]datum.Row, error) {
 	return out, nil
 }
 
+// runTableScanSegments is the row-path scan over a disk-backed table:
+// zone-map-eliminated segments are never materialized, full-match segments
+// skip filter evaluation (when the whole conjunction compiled), everything
+// else runs the normal project+filter loop.
+func (c *Ctx) runTableScanSegments(t *physical.TableScan, tab *storage.Table, pruner *scanPruner) ([]datum.Row, error) {
+	c.notePruner(tab, pruner)
+	regions := pruner.liveRegions()
+	if c.parallel() {
+		total := 0
+		for _, rg := range regions {
+			total += rg.hi - rg.lo
+		}
+		if total >= minParallelRows {
+			all := make([]datum.Row, 0, total)
+			for _, rg := range regions {
+				rows, err := c.rowsRange(tab, rg.lo, rg.hi)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, rows...)
+			}
+			// Region order preserves row order, so the morsel fan-out keeps
+			// the serial output order (filters re-run even on full-match
+			// regions — same rows either way).
+			return c.scanRowsParallel(all, t.Cols, t.ColOrds, t.Filter)
+		}
+	}
+	var out []datum.Row
+	e := newEnv(t.Cols, nil)
+	for _, rg := range regions {
+		rows, err := c.rowsRange(tab, rg.lo, rg.hi)
+		if err != nil {
+			return nil, err
+		}
+		skipFilter := pruner.full && rg.disp == storage.ZoneAll
+		for i, r := range rows {
+			if i%MorselSize == 0 {
+				if err := c.step("scan"); err != nil {
+					return nil, err
+				}
+			}
+			c.Counters.RowsProcessed++
+			pr := projectRow(r, t.ColOrds)
+			if !skipFilter && len(t.Filter) > 0 {
+				e.row = pr
+				ok, err := c.filterRow(t.Filter, e)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, pr)
+		}
+	}
+	return out, nil
+}
+
 func (c *Ctx) runIndexScan(t *physical.IndexScan) ([]datum.Row, error) {
 	tab, ok := c.Store.Table(t.Table.Name)
 	if !ok {
@@ -269,7 +335,10 @@ func (c *Ctx) runIndexScan(t *physical.IndexScan) ([]datum.Row, error) {
 		// post-filter on the range column.
 		ids = ix.SeekEq(t.EqKey)
 		rangeOrd := t.Index.Cols[len(t.EqKey)]
-		ids = filterIDsByRange(tab, ids, rangeOrd, t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+		ids, err = c.filterIDsByRange(tab, ids, rangeOrd, t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+		if err != nil {
+			return nil, err
+		}
 	case len(t.EqKey) > 0:
 		ids = ix.SeekEq(t.EqKey)
 	default:
@@ -290,7 +359,11 @@ func (c *Ctx) runIndexScan(t *physical.IndexScan) ([]datum.Row, error) {
 			}
 		}
 		c.Counters.RowsProcessed++
-		pr := projectRow(tab.Row(id), t.ColOrds)
+		r, err := c.rowAt(tab, id)
+		if err != nil {
+			return nil, err
+		}
+		pr := projectRow(r, t.ColOrds)
 		if len(t.Filter) > 0 {
 			e.row = pr
 			ok, err := c.filterRow(t.Filter, e)
@@ -306,10 +379,13 @@ func (c *Ctx) runIndexScan(t *physical.IndexScan) ([]datum.Row, error) {
 	return out, nil
 }
 
-func filterIDsByRange(tab *storage.Table, ids []int, ord int, lo datum.D, loIncl bool, hi datum.D, hiIncl bool) []int {
+func (c *Ctx) filterIDsByRange(tab *storage.Table, ids []int, ord int, lo datum.D, loIncl bool, hi datum.D, hiIncl bool) ([]int, error) {
 	var out []int
 	for _, id := range ids {
-		v := tab.Row(id)[ord]
+		v, err := c.colValue(tab, id, ord)
+		if err != nil {
+			return nil, err
+		}
 		if v.IsNull() {
 			continue
 		}
@@ -327,7 +403,7 @@ func filterIDsByRange(tab *storage.Table, ids []int, ord int, lo datum.D, loIncl
 		}
 		out = append(out, id)
 	}
-	return out
+	return out, nil
 }
 
 func (c *Ctx) runNLJoin(t *physical.NLJoin) ([]datum.Row, error) {
@@ -462,7 +538,11 @@ func (c *Ctx) runINLJoin(t *physical.INLJoin) ([]datum.Row, error) {
 			}
 			for _, id := range ids {
 				c.Counters.RowsProcessed++
-				rr := projectRow(tab.Row(id), t.ColOrds)
+				ir, err := c.rowAt(tab, id)
+				if err != nil {
+					return nil, err
+				}
+				rr := projectRow(ir, t.ColOrds)
 				e.row = lr.Concat(rr)
 				ok, err := c.filterRow(t.ExtraOn, e)
 				if err != nil {

@@ -103,7 +103,10 @@ func (c *Ctx) naiveScan(t *logical.Scan) (*Result, error) {
 	}
 	ords := c.scanOrds(t.Cols)
 	out := &Result{Cols: t.Cols}
-	rows := tab.Rows()
+	rows, err := c.tableRows(tab)
+	if err != nil {
+		return nil, err
+	}
 	c.touchScan(tab)
 	c.Counters.RowsProcessed += int64(len(rows))
 	for _, r := range rows {

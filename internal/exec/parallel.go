@@ -202,6 +202,11 @@ func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 		if c.curNode != nil && wc.Counters.RowsProcessed > 0 {
 			c.curNode.AddWorkerRows(w, wc.Counters.RowsProcessed)
 		}
+		// Workers have no curNode, so their segment-file bytes only reached
+		// their private counters; credit the analyzed node here.
+		if c.curNode != nil && wc.Counters.BytesRead > 0 {
+			c.curNode.BytesRead += wc.Counters.BytesRead
+		}
 	}
 	return firstError(errs)
 }
@@ -648,7 +653,11 @@ func (c *Ctx) runINLJoinParallel(t *physical.INLJoin, left []datum.Row, tab *sto
 				}
 				for _, id := range ids {
 					wc.Counters.RowsProcessed++
-					rr := projectRow(tab.Row(id), t.ColOrds)
+					ir, err := wc.rowAt(tab, id)
+					if err != nil {
+						return err
+					}
+					rr := projectRow(ir, t.ColOrds)
 					e.row = lr.Concat(rr)
 					ok, err := wc.filterRow(t.ExtraOn, e)
 					if err != nil {
@@ -701,7 +710,11 @@ func (c *Ctx) fetchRowsParallel(tab *storage.Table, ids []int, cols []logical.Co
 		out := getRowBuf()
 		for _, id := range ids[lo:hi] {
 			wc.Counters.RowsProcessed++
-			pr := projectRow(tab.Row(id), colOrds)
+			r, err := wc.rowAt(tab, id)
+			if err != nil {
+				return err
+			}
+			pr := projectRow(r, colOrds)
 			if len(filter) > 0 {
 				e.row = pr
 				ok, err := wc.filterRow(filter, e)

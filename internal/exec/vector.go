@@ -18,6 +18,7 @@ import (
 	"repro/internal/datum"
 	"repro/internal/logical"
 	"repro/internal/physical"
+	"repro/internal/storage"
 )
 
 // execVectorized attempts to run p on the batch path. ok=false means no
@@ -229,7 +230,12 @@ func (c *Ctx) vecTableScan(t *physical.TableScan) (*Batch, bool, error) {
 	if !found {
 		return nil, true, fmt.Errorf("exec: no storage for table %s", t.Table.Name)
 	}
-	c.touchScan(tab)
+	pruner := c.buildPruner(tab, t.Filter, t.Cols, t.ColOrds)
+	if pruner != nil {
+		c.notePruner(tab, pruner)
+	} else {
+		c.touchScan(tab)
+	}
 	n := tab.RowCount()
 	kinds := c.colKinds(t.Cols)
 
@@ -264,7 +270,9 @@ func (c *Ctx) vecTableScan(t *physical.TableScan) (*Batch, bool, error) {
 		vecs := make([]*datum.Vec, len(t.Cols))
 		for ci := range t.Cols {
 			v := datum.NewVec(kinds[ci], n)
-			tab.FillColumnRange(t.ColOrds[ci], 0, n, v)
+			if err := c.fillRange(tab, t.ColOrds[ci], 0, n, v); err != nil {
+				return nil, true, err
+			}
 			vecs[ci] = v
 		}
 		return &Batch{Cols: t.Cols, Vecs: vecs, n: n}, true, nil
@@ -272,18 +280,44 @@ func (c *Ctx) vecTableScan(t *physical.TableScan) (*Batch, bool, error) {
 
 	// Filtered scan, late-materialized: fill only the predicate columns per
 	// morsel, refine the selection with the kernels, then gather every output
-	// column for the survivors in one pass.
+	// column for the survivors in one pass. Over a disk-backed table the
+	// pruner classifies each morsel first: eliminated morsels skip the fill
+	// and the kernels (no I/O at all), full-match morsels keep every row
+	// without running the kernels.
+	morselDisp := func(lo, hi int) storage.ZoneDisp {
+		if pruner == nil {
+			return storage.ZoneSome
+		}
+		return pruner.dispRange(lo, hi)
+	}
+	identIDs := func(lo, hi int) []int {
+		loc := make([]int, hi-lo)
+		for k := range loc {
+			loc[k] = lo + k
+		}
+		return loc
+	}
 	var ids []int
 	if c.parallel() && n >= minParallelRows {
 		idsPer := make([][]int, numMorsels(n))
 		err := c.forMorsels(n, func(wc *Ctx, m, lo, hi int) error {
+			disp := morselDisp(lo, hi)
+			if disp == storage.ZoneNone {
+				return nil
+			}
 			if err := wc.step("scan"); err != nil {
 				return err
 			}
 			wc.Counters.RowsProcessed += int64(hi - lo)
+			if disp == storage.ZoneAll && pruner.full {
+				idsPer[m] = identIDs(lo, hi)
+				return nil
+			}
 			scratch := newScanScratch(kinds, preds)
 			for _, pc := range scratch.predCols {
-				tab.FillColumnRange(t.ColOrds[pc], lo, hi, scratch.vecs[pc])
+				if err := wc.fillRange(tab, t.ColOrds[pc], lo, hi, scratch.vecs[pc]); err != nil {
+					return err
+				}
 			}
 			sel := scratch.filterChunk(preds, hi-lo)
 			if len(sel) == 0 {
@@ -309,13 +343,23 @@ func (c *Ctx) vecTableScan(t *physical.TableScan) (*Batch, bool, error) {
 		scratch := newScanScratch(kinds, preds)
 		for lo := 0; lo < n; lo += MorselSize {
 			hi := min(lo+MorselSize, n)
+			disp := morselDisp(lo, hi)
+			if disp == storage.ZoneNone {
+				continue
+			}
 			if err := c.step("scan"); err != nil {
 				return nil, true, err
 			}
 			c.Counters.RowsProcessed += int64(hi - lo)
+			if disp == storage.ZoneAll && pruner.full {
+				ids = append(ids, identIDs(lo, hi)...)
+				continue
+			}
 			scratch.reset()
 			for _, pc := range scratch.predCols {
-				tab.FillColumnRange(t.ColOrds[pc], lo, hi, scratch.vecs[pc])
+				if err := c.fillRange(tab, t.ColOrds[pc], lo, hi, scratch.vecs[pc]); err != nil {
+					return nil, true, err
+				}
 			}
 			for _, i := range scratch.filterChunk(preds, hi-lo) {
 				ids = append(ids, lo+int(i))
@@ -325,7 +369,9 @@ func (c *Ctx) vecTableScan(t *physical.TableScan) (*Batch, bool, error) {
 	vecs := make([]*datum.Vec, len(t.Cols))
 	for ci := range t.Cols {
 		v := datum.NewVec(kinds[ci], len(ids))
-		tab.FillColumnIDs(t.ColOrds[ci], ids, v)
+		if err := c.fillIDs(tab, t.ColOrds[ci], ids, v); err != nil {
+			return nil, true, err
+		}
 		vecs[ci] = v
 	}
 	return &Batch{Cols: t.Cols, Vecs: vecs, n: len(ids)}, true, nil
@@ -350,7 +396,10 @@ func (c *Ctx) vecIndexScan(t *physical.IndexScan) (*Batch, bool, error) {
 	case len(t.EqKey) > 0 && (!t.Lo.IsNull() || !t.Hi.IsNull()):
 		ids = ix.SeekEq(t.EqKey)
 		rangeOrd := t.Index.Cols[len(t.EqKey)]
-		ids = filterIDsByRange(tab, ids, rangeOrd, t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+		ids, err = c.filterIDsByRange(tab, ids, rangeOrd, t.Lo, t.LoIncl, t.Hi, t.HiIncl)
+		if err != nil {
+			return nil, true, err
+		}
 	case len(t.EqKey) > 0:
 		ids = ix.SeekEq(t.EqKey)
 	default:
@@ -364,20 +413,22 @@ func (c *Ctx) vecIndexScan(t *physical.IndexScan) (*Batch, bool, error) {
 	keep := ids
 	if len(preds) > 0 {
 		keep = keep[:0:0]
-		filterMorsel := func(wc *Ctx, scratch *scanScratch, lo, hi int) []int {
+		filterMorsel := func(wc *Ctx, scratch *scanScratch, lo, hi int) ([]int, error) {
 			scratch.reset()
 			for _, pc := range scratch.predCols {
-				tab.FillColumnIDs(t.ColOrds[pc], ids[lo:hi], scratch.vecs[pc])
+				if err := wc.fillIDs(tab, t.ColOrds[pc], ids[lo:hi], scratch.vecs[pc]); err != nil {
+					return nil, err
+				}
 			}
 			sel := scratch.filterChunk(preds, hi-lo)
 			if len(sel) == 0 {
-				return nil
+				return nil, nil
 			}
 			loc := make([]int, len(sel))
 			for k, i := range sel {
 				loc[k] = ids[lo+int(i)]
 			}
-			return loc
+			return loc, nil
 		}
 		if c.parallel() && len(ids) >= minParallelRows {
 			keepPer := make([][]int, numMorsels(len(ids)))
@@ -386,7 +437,11 @@ func (c *Ctx) vecIndexScan(t *physical.IndexScan) (*Batch, bool, error) {
 					return err
 				}
 				wc.Counters.RowsProcessed += int64(hi - lo)
-				keepPer[m] = filterMorsel(wc, newScanScratch(kinds, preds), lo, hi)
+				loc, err := filterMorsel(wc, newScanScratch(kinds, preds), lo, hi)
+				if err != nil {
+					return err
+				}
+				keepPer[m] = loc
 				return nil
 			})
 			if err != nil {
@@ -406,7 +461,11 @@ func (c *Ctx) vecIndexScan(t *physical.IndexScan) (*Batch, bool, error) {
 					return nil, true, err
 				}
 				c.Counters.RowsProcessed += int64(hi - lo)
-				keep = append(keep, filterMorsel(c, scratch, lo, hi)...)
+				loc, err := filterMorsel(c, scratch, lo, hi)
+				if err != nil {
+					return nil, true, err
+				}
+				keep = append(keep, loc...)
 			}
 		}
 	} else {
@@ -424,7 +483,9 @@ func (c *Ctx) vecIndexScan(t *physical.IndexScan) (*Batch, bool, error) {
 	vecs := make([]*datum.Vec, len(t.Cols))
 	for ci := range t.Cols {
 		v := datum.NewVec(kinds[ci], len(keep))
-		tab.FillColumnIDs(t.ColOrds[ci], keep, v)
+		if err := c.fillIDs(tab, t.ColOrds[ci], keep, v); err != nil {
+			return nil, true, err
+		}
 		vecs[ci] = v
 	}
 	return &Batch{Cols: t.Cols, Vecs: vecs, n: len(keep)}, true, nil

@@ -96,6 +96,7 @@ func All() []Table {
 		E23Robustness(),
 		E24Vectorized(),
 		E26AdaptivePlanning(),
+		E27Storage(),
 	}
 }
 

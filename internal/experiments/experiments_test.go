@@ -13,8 +13,8 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		t.Skip("experiments are slow; skipped under -short")
 	}
 	tables := All()
-	if len(tables) != 25 {
-		t.Fatalf("expected 25 experiments, got %d", len(tables))
+	if len(tables) != 26 {
+		t.Fatalf("expected 26 experiments, got %d", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
@@ -122,6 +122,20 @@ func TestHeadlineInvariants(t *testing.T) {
 	}
 	if sp := atof(t, e24.Rows[0][7]); sp <= 1 {
 		t.Errorf("E24: scan+filter shows no vectorized speedup: %v", e24.Rows[0])
+	}
+
+	// E27: disk results must be bit-identical to memory on every row, and
+	// the most selective pruned scan must read well under half the segments.
+	e27 := E27Storage()
+	for _, r := range e27.Rows {
+		if r[len(r)-1] != "true" {
+			t.Errorf("E27: %s/%s not bit-identical to memory: %v", r[0], r[1], r)
+		}
+	}
+	first := e27.Rows[0] // selectivity 0.001, pruned arm
+	read, pruned := atof(t, first[2]), atof(t, first[3])
+	if first[1] != "pruned" || read*2 >= read+pruned {
+		t.Errorf("E27: expected the selective pruned scan to skip most segments: %v", first)
 	}
 
 	// E19: the last row's regret must exceed 10x.

@@ -44,6 +44,14 @@ type NodeMetrics struct {
 	// (per-partition row counts for Exchange) — non-uniform values expose
 	// partition skew.
 	WorkerRows []int64
+	// SegmentsRead / SegmentsPruned count disk-backed columnar segments a
+	// scan actually opened vs eliminated by zone maps without touching disk.
+	// Both stay zero for in-memory tables.
+	SegmentsRead   int64
+	SegmentsPruned int64
+	// BytesRead is real segment-file bytes read from disk (cache misses
+	// only — a warm scan reads zero).
+	BytesRead int64
 }
 
 // NoteMem records a buffered-rows observation, keeping the peak.
@@ -170,6 +178,12 @@ func formatAnalyzeNode(sb *strings.Builder, p Plan, md *logical.Metadata, rm *Ru
 		}
 		if m.Spills > 0 {
 			fmt.Fprintf(sb, " spills=%d spill_bytes=%d", m.Spills, m.SpillBytes)
+		}
+		if m.SegmentsRead > 0 || m.SegmentsPruned > 0 {
+			fmt.Fprintf(sb, " segments_read=%d segments_pruned=%d", m.SegmentsRead, m.SegmentsPruned)
+		}
+		if m.BytesRead > 0 {
+			fmt.Fprintf(sb, " bytes_read=%d", m.BytesRead)
 		}
 		if len(m.WorkerRows) > 0 {
 			parts := make([]string, len(m.WorkerRows))

@@ -40,10 +40,13 @@ func (o AnalyzeOptions) withDefaults() AnalyzeOptions {
 // Analyze collects statistics for one stored table into its catalog entry:
 // row and page counts and, per column, null count, distinct count,
 // second-min/second-max and a histogram.
-func Analyze(tab *storage.Table, opts AnalyzeOptions) {
+func Analyze(tab *storage.Table, opts AnalyzeOptions) error {
 	opts = opts.withDefaults()
 	def := tab.Def
-	rows := tab.Rows()
+	rows, err := tab.Rows(nil)
+	if err != nil {
+		return err
+	}
 	ts := &catalog.TableStats{
 		RowCount:  float64(len(rows)),
 		PageCount: float64(tab.PageCount()),
@@ -90,6 +93,7 @@ func Analyze(tab *storage.Table, opts AnalyzeOptions) {
 		ix.DistinctKeys = float64(len(seen))
 	}
 	def.Stats = ts
+	return nil
 }
 
 // secondExtremes returns the second-lowest and second-highest non-NULL values
@@ -138,7 +142,10 @@ func AnalyzeJoint(tab *storage.Table, colA, colB string, kOuter, kInner int) err
 	if kInner <= 0 {
 		kInner = 16
 	}
-	rows := tab.Rows()
+	rows, err := tab.Rows(nil)
+	if err != nil {
+		return err
+	}
 	as := make([]datum.D, len(rows))
 	bs := make([]datum.D, len(rows))
 	for i, r := range rows {
@@ -155,10 +162,13 @@ func AnalyzeJoint(tab *storage.Table, colA, colB string, kOuter, kInner int) err
 }
 
 // AnalyzeAll analyzes every table registered in both the store and catalog.
-func AnalyzeAll(store *storage.Store, cat *catalog.Catalog, opts AnalyzeOptions) {
+func AnalyzeAll(store *storage.Store, cat *catalog.Catalog, opts AnalyzeOptions) error {
 	for _, def := range cat.Tables() {
 		if tab, ok := store.Table(def.Name); ok {
-			Analyze(tab, opts)
+			if err := Analyze(tab, opts); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 
+	"repro/internal/catalog"
 	"repro/internal/datum"
 	"repro/internal/histogram"
 	"repro/internal/logical"
@@ -64,6 +65,18 @@ type Estimator struct {
 	// on a scan or a filtered scan replaces the computed row count with the
 	// observed one. Estimates only — results are never affected.
 	Overrides *Overrides
+	// SegmentStats, when set, returns coarse statistics synthesized from a
+	// disk-backed table's segment footers (zone maps, NULL counts, distinct
+	// sketches). Consulted when a table has never been ANALYZEd, or when the
+	// ANALYZE-time row count has drifted ≥2x from the actual stored row
+	// count — segment metadata is always current, so it wins over stale
+	// statistics. Returns nil when no segment metadata exists.
+	SegmentStats func(table string) *catalog.TableStats
+	// ScanPages, when set, returns the page count a scan of the table would
+	// actually read after zone-map segment elimination under the given
+	// residual filters, or -1 when unknown. Lets the cost model charge I/O
+	// only for non-pruned segments.
+	ScanPages func(scan *logical.Scan, filters []logical.Scalar) float64
 	cache     map[logical.RelExpr]*RelStats
 }
 
@@ -145,9 +158,55 @@ func (e *Estimator) compute(rel logical.RelExpr) *RelStats {
 	return &RelStats{Rows: 1, Cols: map[logical.ColumnID]*ColStat{}}
 }
 
+// tableStats resolves the statistics to estimate a scan from: the ANALYZE
+// output when present and fresh, otherwise coarse segment-footer statistics
+// (when available). "Fresh" means the analyzed row count is within 2x of the
+// row count the segment metadata reports — beyond that the table has changed
+// enough since ANALYZE that always-current segment metadata is the better
+// basis.
+func (e *Estimator) tableStats(t *logical.Scan) *catalog.TableStats {
+	if t.Table == nil {
+		return nil
+	}
+	ts := t.Table.Stats
+	if e.SegmentStats == nil {
+		return ts
+	}
+	ss := e.SegmentStats(t.Table.Name)
+	if ss == nil {
+		return ts
+	}
+	if ts == nil {
+		return ss
+	}
+	if ts.RowCount >= 2*ss.RowCount || ss.RowCount >= 2*math.Max(ts.RowCount, 1) {
+		return ss
+	}
+	return ts
+}
+
+// TableShape returns the row and page counts a scan of t should be costed
+// with. Rows and pages come from the freshest statistics available (ANALYZE
+// or segment metadata); when zone-map pruning applies, pages is reduced to
+// the pages of only the segments the filters cannot eliminate, so a
+// sequential scan under a selective range predicate is charged its true,
+// post-pruning I/O. Pages is floored at 1.
+func (e *Estimator) TableShape(t *logical.Scan, filters []logical.Scalar) (rows, pages float64) {
+	rows, pages = 1, 1
+	if ts := e.tableStats(t); ts != nil {
+		rows, pages = ts.RowCount, ts.PageCount
+	}
+	if len(filters) > 0 && e.ScanPages != nil {
+		if p := e.ScanPages(t, filters); p >= 0 && p < pages {
+			pages = p
+		}
+	}
+	return rows, math.Max(1, pages)
+}
+
 func (e *Estimator) scanStats(t *logical.Scan) *RelStats {
 	out := &RelStats{Rows: 1, Cols: map[logical.ColumnID]*ColStat{}}
-	ts := t.Table.Stats
+	ts := e.tableStats(t)
 	if ts == nil {
 		for _, id := range t.Cols {
 			out.Cols[id] = &ColStat{Distinct: 1}

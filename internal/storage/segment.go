@@ -1,0 +1,886 @@
+// Columnar segment files: the persistent format behind disk-backed tables.
+// A segment holds a fixed row range of one table as typed column blocks
+// (mirroring datum.Vec: []int64 / []float64 / []string payloads plus a packed
+// NULL bitmap, with a boxed per-datum fallback for mixed-kind columns),
+// followed by a footer carrying per-column min/max zone maps, NULL counts and
+// a small linear-counting distinct sketch. Zone maps let scans eliminate
+// segments a predicate cannot match without touching their bytes, and the
+// footer metadata doubles as a coarse histogram for the optimizer when
+// table-level statistics are stale.
+//
+// Encoding reuses the spill-file conventions from internal/exec: uvarint
+// counts, varint integers, raw little-endian float bits (math.Float64bits,
+// so every NaN payload and signed zero round-trips exactly), uvarint-length
+// strings, and a kind byte per boxed datum.
+package storage
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/faultfs"
+)
+
+// segMagic trails every segment file; it doubles as a format version tag.
+const segMagic = "QOPTSEG1"
+
+// sketchBytes is the size of the per-column distinct sketch: a 256-bit
+// linear-counting bitmap (distinct values hash to bits; the zero-bit count
+// estimates cardinality).
+const sketchBytes = 32
+
+// Column block representations.
+const (
+	reprTyped byte = 0 // typed payload + NULL bitmap
+	reprBoxed byte = 1 // per-datum kind byte + payload (mixed-kind columns)
+)
+
+// ScanCtx threads fault injection and real-I/O accounting from the executor
+// into storage reads. A nil ScanCtx disables both, so internal callers
+// (index builds, stats collection) can pass nil. One ScanCtx belongs to one
+// goroutine; parallel workers each carry their own and fold BytesRead into
+// their counters at pipeline barriers.
+type ScanCtx struct {
+	// Faults, when non-nil, is checked on the "segment.open" and
+	// "segment.read" operation streams before the corresponding syscalls.
+	Faults *faultfs.Injector
+	// BytesRead accumulates bytes actually read from segment files. Column
+	// blocks served from the decoded-column cache add nothing, which is what
+	// makes cold-vs-warm benchmarks honest.
+	BytesRead int64
+}
+
+func (sc *ScanCtx) check(op string) error {
+	if sc == nil || sc.Faults == nil {
+		return nil
+	}
+	return sc.Faults.Check(op)
+}
+
+func (sc *ScanCtx) addBytes(n int64) {
+	if sc != nil {
+		sc.BytesRead += n
+	}
+}
+
+// colMeta is the decoded footer entry for one column block.
+type colMeta struct {
+	repr      byte
+	kind      datum.Kind
+	off       int64
+	blockLen  int64
+	nullCount int
+	// hasZone reports whether min/max form a usable zone map. It is false
+	// when the column has no non-NULL values and when any value is a float
+	// NaN (datum.Compare does not totally order NaN, so range reasoning over
+	// such a column would be unsound).
+	hasZone  bool
+	min, max datum.D
+	sketch   [sketchBytes]byte
+}
+
+// segMeta describes one sealed segment of a table.
+type segMeta struct {
+	id       int
+	startRow int
+	rows     int
+	bytes    int64 // file size
+	cols     []colMeta
+}
+
+// SegmentInfo is the public shape of a sealed segment, exposed so the
+// executor can reason about row ranges and charge per-segment pages.
+type SegmentInfo struct {
+	ID       int
+	StartRow int
+	Rows     int
+	Bytes    int64
+}
+
+// --- per-datum encode/decode (spill conventions) ---
+
+func appendD(buf *bytes.Buffer, d datum.D) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.WriteByte(byte(d.Kind()))
+	switch d.Kind() {
+	case datum.KindNull:
+	case datum.KindBool:
+		if d.Bool() {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	case datum.KindInt:
+		buf.Write(tmp[:binary.PutVarint(tmp[:], d.Int())])
+	case datum.KindFloat:
+		binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(d.Float()))
+		buf.Write(tmp[:8])
+	case datum.KindString:
+		s := d.Str()
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s)))])
+		buf.WriteString(s)
+	}
+}
+
+// byteReader decodes from a byte slice with explicit error state, so corrupt
+// or truncated files surface as errors instead of panics.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("storage: truncated segment data")
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("storage: truncated segment data")
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func (r *byteReader) varint() (int64, error) {
+	return binary.ReadVarint(r)
+}
+
+func decodeD(r *byteReader) (datum.D, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return datum.Null, err
+	}
+	switch datum.Kind(kb) {
+	case datum.KindNull:
+		return datum.Null, nil
+	case datum.KindBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.NewBool(b != 0), nil
+	case datum.KindInt:
+		v, err := r.varint()
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.NewInt(v), nil
+	case datum.KindFloat:
+		b, err := r.take(8)
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case datum.KindString:
+		n, err := r.uvarint()
+		if err != nil {
+			return datum.Null, err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.NewString(string(b)), nil
+	}
+	return datum.Null, fmt.Errorf("storage: unknown datum kind byte %d", kb)
+}
+
+// --- column block encode/decode ---
+
+// encodeColumn appends v's column block to buf and returns its footer entry
+// (offset/length filled in by the caller's bookkeeping).
+func encodeColumn(buf *bytes.Buffer, v *datum.Vec) colMeta {
+	var tmp [binary.MaxVarintLen64]byte
+	n := v.Len()
+	cm := colMeta{kind: v.Kind()}
+	if v.Boxed() {
+		cm.repr = reprBoxed
+		buf.WriteByte(reprBoxed)
+		buf.WriteByte(0)
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(n))])
+		for i := 0; i < n; i++ {
+			appendD(buf, v.D(i))
+		}
+		return cm
+	}
+	cm.repr = reprTyped
+	buf.WriteByte(reprTyped)
+	buf.WriteByte(byte(v.Kind()))
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(n))])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(v.NumNulls()))])
+	if v.NumNulls() > 0 {
+		words := (n + 63) / 64
+		nulls := v.Nulls()
+		for w := 0; w < words; w++ {
+			var bits uint64
+			if w < len(nulls) {
+				bits = nulls[w]
+			}
+			binary.LittleEndian.PutUint64(tmp[:8], bits)
+			buf.Write(tmp[:8])
+		}
+	}
+	switch v.Kind() {
+	case datum.KindInt, datum.KindBool:
+		for _, x := range v.Ints {
+			buf.Write(tmp[:binary.PutVarint(tmp[:], x)])
+		}
+	case datum.KindFloat:
+		for _, f := range v.Floats {
+			binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(f))
+			buf.Write(tmp[:8])
+		}
+	case datum.KindString:
+		for _, s := range v.Strs {
+			buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s)))])
+			buf.WriteString(s)
+		}
+	case datum.KindNull:
+		// all-NULL column: the bitmap already says everything
+	}
+	return cm
+}
+
+// decodeColumn rebuilds a column block into a Vec. rows is the segment's row
+// count, used to validate the block.
+func decodeColumn(block []byte, rows int) (*datum.Vec, error) {
+	r := &byteReader{b: block}
+	repr, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	kb, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	nu, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n := int(nu)
+	if n != rows {
+		return nil, fmt.Errorf("storage: column block has %d rows, segment has %d", n, rows)
+	}
+	if repr == reprBoxed {
+		ds := make([]datum.D, n)
+		for i := range ds {
+			if ds[i], err = decodeD(r); err != nil {
+				return nil, err
+			}
+		}
+		return datum.NewBoxedVec(ds), nil
+	}
+	kind := datum.Kind(kb)
+	nn, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	numNulls := int(nn)
+	var nulls datum.Bitmap
+	if numNulls > 0 {
+		words := (n + 63) / 64
+		nulls = make(datum.Bitmap, words)
+		for w := 0; w < words; w++ {
+			b, err := r.take(8)
+			if err != nil {
+				return nil, err
+			}
+			nulls[w] = binary.LittleEndian.Uint64(b)
+		}
+	}
+	switch kind {
+	case datum.KindInt, datum.KindBool:
+		ints := make([]int64, n)
+		for i := range ints {
+			if ints[i], err = r.varint(); err != nil {
+				return nil, err
+			}
+		}
+		return datum.NewTypedVec(kind, n, ints, nil, nil, nulls, numNulls), nil
+	case datum.KindFloat:
+		floats := make([]float64, n)
+		for i := range floats {
+			b, err := r.take(8)
+			if err != nil {
+				return nil, err
+			}
+			floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		}
+		return datum.NewTypedVec(kind, n, nil, floats, nil, nulls, numNulls), nil
+	case datum.KindString:
+		strs := make([]string, n)
+		for i := range strs {
+			ln, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.take(int(ln))
+			if err != nil {
+				return nil, err
+			}
+			strs[i] = string(b)
+		}
+		return datum.NewTypedVec(kind, n, nil, nil, strs, nulls, numNulls), nil
+	case datum.KindNull:
+		return datum.NewTypedVec(datum.KindNull, n, nil, nil, nil, nulls, numNulls), nil
+	}
+	return nil, fmt.Errorf("storage: unknown column kind byte %d", kb)
+}
+
+// --- zone maps and distinct sketches ---
+
+// zoneOf computes the footer statistics of one column vector: NULL count,
+// min/max zone bounds and the distinct sketch. hasZone is withheld for
+// columns with no non-NULL values and for columns containing a float NaN.
+func zoneOf(v *datum.Vec) (nullCount int, hasZone bool, minD, maxD datum.D, sketch [sketchBytes]byte) {
+	sawNaN := false
+	for i := 0; i < v.Len(); i++ {
+		d := v.D(i)
+		if d.IsNull() {
+			nullCount++
+			continue
+		}
+		if d.Kind() == datum.KindFloat && math.IsNaN(d.Float()) {
+			sawNaN = true
+		}
+		if !hasZone {
+			minD, maxD, hasZone = d, d, true
+		} else {
+			if datum.Compare(d, minD) < 0 {
+				minD = d
+			}
+			if datum.Compare(d, maxD) > 0 {
+				maxD = d
+			}
+		}
+		h := sketchHash(d)
+		sketch[(h%256)>>3] |= 1 << (h % 8)
+	}
+	if sawNaN {
+		hasZone = false
+		minD, maxD = datum.Null, datum.Null
+	}
+	return
+}
+
+// sketchHash is a deterministic FNV-1a over a family tag plus a canonical
+// payload. It must be stable across processes (sketches are persisted), so it
+// cannot use datum.Hash's per-process maphash seed. Numerics hash their
+// float64 bits so 1 and 1.0 count as one distinct value, matching the
+// engine's cross-kind equality.
+func sketchHash(d datum.D) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	step64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			step(byte(v >> (8 * i)))
+		}
+	}
+	switch d.Kind() {
+	case datum.KindBool:
+		step(1)
+		if d.Bool() {
+			step(1)
+		} else {
+			step(0)
+		}
+	case datum.KindInt:
+		step(2)
+		step64(math.Float64bits(float64(d.Int())))
+	case datum.KindFloat:
+		step(2)
+		step64(math.Float64bits(d.Float()))
+	case datum.KindString:
+		step(3)
+		s := d.Str()
+		for i := 0; i < len(s); i++ {
+			step(s[i])
+		}
+	}
+	return h
+}
+
+// sketchDistinct is the linear-counting estimate of a sketch: with m bits and
+// z still zero, distinct ≈ -m·ln(z/m). A saturated sketch (z = 0) caps the
+// estimate at cap — the sketch only resolves cardinalities up to a few
+// hundred, which is exactly the coarse-histogram duty it has here.
+func sketchDistinct(sketch [sketchBytes]byte, capRows float64) float64 {
+	zero := 0
+	for _, b := range sketch {
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) == 0 {
+				zero++
+			}
+		}
+	}
+	const m = float64(sketchBytes * 8)
+	if zero == 0 {
+		return capRows
+	}
+	d := -m * math.Log(float64(zero)/m)
+	if d < 1 {
+		d = 1
+	}
+	if capRows > 0 && d > capRows {
+		d = capRows
+	}
+	return d
+}
+
+// unionSketch ORs b into a (sketches of the same column across segments union
+// bitwise).
+func unionSketch(a *[sketchBytes]byte, b [sketchBytes]byte) {
+	for i := range a {
+		a[i] |= b[i]
+	}
+}
+
+// --- segment file write/read ---
+
+// encodeSegment lays out the column blocks and footer of one segment.
+// Fault checks run on the store's injector: "segment.create" once, then
+// "segment.write" per column block, mirroring the spill path's cadence.
+func encodeSegment(vecs []*datum.Vec, faults *faultfs.Injector) ([]byte, []colMeta, error) {
+	if faults != nil {
+		if err := faults.Check("segment.create"); err != nil {
+			return nil, nil, err
+		}
+	}
+	var buf bytes.Buffer
+	metas := make([]colMeta, len(vecs))
+	for ci, v := range vecs {
+		if faults != nil {
+			if err := faults.Check("segment.write"); err != nil {
+				return nil, nil, err
+			}
+		}
+		off := int64(buf.Len())
+		cm := encodeColumn(&buf, v)
+		cm.off = off
+		cm.blockLen = int64(buf.Len()) - off
+		cm.nullCount, cm.hasZone, cm.min, cm.max, cm.sketch = zoneOf(v)
+		metas[ci] = cm
+	}
+	// Footer: rows, ncols, then one entry per column.
+	var tmp [binary.MaxVarintLen64]byte
+	footerOff := buf.Len()
+	rows := 0
+	if len(vecs) > 0 {
+		rows = vecs[0].Len()
+	}
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(rows))])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(metas)))])
+	for _, cm := range metas {
+		buf.WriteByte(cm.repr)
+		buf.WriteByte(byte(cm.kind))
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(cm.off))])
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(cm.blockLen))])
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(cm.nullCount))])
+		if cm.hasZone {
+			buf.WriteByte(1)
+			appendD(&buf, cm.min)
+			appendD(&buf, cm.max)
+		} else {
+			buf.WriteByte(0)
+		}
+		buf.Write(cm.sketch[:])
+	}
+	footerLen := buf.Len() - footerOff
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(footerLen))
+	buf.Write(tmp[:4])
+	buf.WriteString(segMagic)
+	return buf.Bytes(), metas, nil
+}
+
+// readSegmentFooter opens a segment file and decodes its footer into a
+// segMeta (startRow left to the caller).
+func readSegmentFooter(path string) (segMeta, error) {
+	var sm segMeta
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return sm, err
+	}
+	return decodeFooter(raw, path)
+}
+
+func decodeFooter(raw []byte, path string) (segMeta, error) {
+	var sm segMeta
+	tail := len(segMagic) + 4
+	if len(raw) < tail || string(raw[len(raw)-len(segMagic):]) != segMagic {
+		return sm, fmt.Errorf("storage: %s is not a segment file", path)
+	}
+	footerLen := int(binary.LittleEndian.Uint32(raw[len(raw)-tail : len(raw)-len(segMagic)]))
+	footerOff := len(raw) - tail - footerLen
+	if footerLen < 0 || footerOff < 0 {
+		return sm, fmt.Errorf("storage: %s has a corrupt footer", path)
+	}
+	r := &byteReader{b: raw[footerOff : footerOff+footerLen]}
+	rows, err := r.uvarint()
+	if err != nil {
+		return sm, err
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return sm, err
+	}
+	sm.rows = int(rows)
+	sm.bytes = int64(len(raw))
+	sm.cols = make([]colMeta, ncols)
+	for ci := range sm.cols {
+		cm := &sm.cols[ci]
+		if cm.repr, err = r.ReadByte(); err != nil {
+			return sm, err
+		}
+		kb, err := r.ReadByte()
+		if err != nil {
+			return sm, err
+		}
+		cm.kind = datum.Kind(kb)
+		off, err := r.uvarint()
+		if err != nil {
+			return sm, err
+		}
+		blockLen, err := r.uvarint()
+		if err != nil {
+			return sm, err
+		}
+		nullCount, err := r.uvarint()
+		if err != nil {
+			return sm, err
+		}
+		cm.off, cm.blockLen, cm.nullCount = int64(off), int64(blockLen), int(nullCount)
+		hz, err := r.ReadByte()
+		if err != nil {
+			return sm, err
+		}
+		if hz != 0 {
+			cm.hasZone = true
+			if cm.min, err = decodeD(r); err != nil {
+				return sm, err
+			}
+			if cm.max, err = decodeD(r); err != nil {
+				return sm, err
+			}
+		}
+		sk, err := r.take(sketchBytes)
+		if err != nil {
+			return sm, err
+		}
+		copy(cm.sketch[:], sk)
+	}
+	return sm, nil
+}
+
+// readColumnBlock reads and decodes one column block from a segment file,
+// checking the fault streams and charging the bytes to sc.
+func readColumnBlock(sc *ScanCtx, path string, sm *segMeta, ord int) (*datum.Vec, error) {
+	if err := sc.check("segment.open"); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := sc.check("segment.read"); err != nil {
+		return nil, err
+	}
+	cm := &sm.cols[ord]
+	block := make([]byte, cm.blockLen)
+	if _, err := f.ReadAt(block, cm.off); err != nil {
+		return nil, fmt.Errorf("storage: reading %s column %d: %w", path, ord, err)
+	}
+	sc.addBytes(cm.blockLen)
+	return decodeColumn(block, sm.rows)
+}
+
+// --- zone-map predicates and segment dispositions ---
+
+// ZoneOp mirrors the executor's comparison operators for zone-map reasoning
+// (storage cannot import the logical package).
+type ZoneOp uint8
+
+// Comparison operators over datum.Compare's total order.
+const (
+	ZoneEq ZoneOp = iota
+	ZoneNe
+	ZoneLt
+	ZoneLe
+	ZoneGt
+	ZoneGe
+)
+
+// ZonePredForm selects the shape of a ZonePred.
+type ZonePredForm uint8
+
+// Predicate forms the zone maps can reason about.
+const (
+	ZoneCmp       ZonePredForm = iota // column <op> constant
+	ZoneIn                            // column IN (constants)
+	ZoneIsNull                        // column IS NULL
+	ZoneIsNotNull                     // column IS NOT NULL
+	ZoneNever                         // predicate can never be TRUE (e.g. col = NULL)
+)
+
+// ZonePred is one conjunct of a scan predicate, compiled down to a base-table
+// column ordinal so the storage layer can confront it with segment footers.
+type ZonePred struct {
+	Ord  int
+	Form ZonePredForm
+	Op   ZoneOp
+	C    datum.D
+	List []datum.D
+}
+
+// ZoneDisp is a segment's disposition under a predicate conjunction.
+type ZoneDisp uint8
+
+// Dispositions: ZoneNone segments cannot contain a matching row and are
+// eliminated without I/O; ZoneAll segments match on every row (and contain no
+// NULLs in the tested columns), so a scan may skip filter evaluation when the
+// whole predicate was compiled; ZoneSome is everything in between.
+const (
+	ZoneNone ZoneDisp = iota
+	ZoneSome
+	ZoneAll
+)
+
+// dispPred evaluates one predicate against one column's footer entry.
+func dispPred(cm *colMeta, rows int, p ZonePred) ZoneDisp {
+	nonNull := rows - cm.nullCount
+	switch p.Form {
+	case ZoneNever:
+		return ZoneNone
+	case ZoneIsNull:
+		switch {
+		case cm.nullCount == 0:
+			return ZoneNone
+		case cm.nullCount == rows:
+			return ZoneAll
+		}
+		return ZoneSome
+	case ZoneIsNotNull:
+		switch {
+		case cm.nullCount == rows:
+			return ZoneNone
+		case cm.nullCount == 0:
+			return ZoneAll
+		}
+		return ZoneSome
+	case ZoneCmp:
+		if nonNull == 0 {
+			return ZoneNone // comparisons with NULL are never TRUE
+		}
+		if !cm.hasZone {
+			return ZoneSome
+		}
+		cmpMin := datum.Compare(cm.min, p.C)
+		cmpMax := datum.Compare(cm.max, p.C)
+		noNulls := cm.nullCount == 0
+		switch p.Op {
+		case ZoneEq:
+			if cmpMin > 0 || cmpMax < 0 {
+				return ZoneNone
+			}
+			if cmpMin == 0 && cmpMax == 0 && noNulls {
+				return ZoneAll
+			}
+		case ZoneNe:
+			if cmpMin == 0 && cmpMax == 0 {
+				return ZoneNone
+			}
+			if (cmpMin > 0 || cmpMax < 0) && noNulls {
+				return ZoneAll
+			}
+		case ZoneLt:
+			if cmpMin >= 0 {
+				return ZoneNone
+			}
+			if cmpMax < 0 && noNulls {
+				return ZoneAll
+			}
+		case ZoneLe:
+			if cmpMin > 0 {
+				return ZoneNone
+			}
+			if cmpMax <= 0 && noNulls {
+				return ZoneAll
+			}
+		case ZoneGt:
+			if cmpMax <= 0 {
+				return ZoneNone
+			}
+			if cmpMin > 0 && noNulls {
+				return ZoneAll
+			}
+		case ZoneGe:
+			if cmpMax < 0 {
+				return ZoneNone
+			}
+			if cmpMin >= 0 && noNulls {
+				return ZoneAll
+			}
+		}
+		return ZoneSome
+	case ZoneIn:
+		if nonNull == 0 {
+			return ZoneNone
+		}
+		if !cm.hasZone {
+			return ZoneSome
+		}
+		anyInRange := false
+		pointMatch := false
+		for _, e := range p.List {
+			if datum.Compare(e, cm.min) >= 0 && datum.Compare(e, cm.max) <= 0 {
+				anyInRange = true
+				if datum.Compare(cm.min, cm.max) == 0 {
+					pointMatch = true
+				}
+			}
+		}
+		if !anyInRange {
+			return ZoneNone
+		}
+		if pointMatch && cm.nullCount == 0 {
+			return ZoneAll // single-valued segment whose value is in the list
+		}
+		return ZoneSome
+	}
+	return ZoneSome
+}
+
+// dispSegment combines the conjunction: any conjunct that cannot match kills
+// the segment; the segment is a full match only when every conjunct matches
+// every row.
+func dispSegment(sm *segMeta, preds []ZonePred) ZoneDisp {
+	disp := ZoneAll
+	for _, p := range preds {
+		if p.Ord < 0 || (p.Form != ZoneNever && p.Ord >= len(sm.cols)) {
+			disp = ZoneSome
+			continue
+		}
+		var cm *colMeta
+		if p.Form != ZoneNever {
+			cm = &sm.cols[p.Ord]
+		} else {
+			cm = &colMeta{}
+		}
+		switch dispPred(cm, sm.rows, p) {
+		case ZoneNone:
+			return ZoneNone
+		case ZoneSome:
+			disp = ZoneSome
+		}
+	}
+	return disp
+}
+
+// --- decoded-column cache ---
+
+// colKey identifies one decoded column block: table identity, rewrite
+// generation (SortBy bumps it), segment and column ordinal.
+type colKey struct {
+	tab  *Table
+	gen  int
+	seg  int
+	ord  int
+}
+
+type colEntry struct {
+	key   colKey
+	vec   *datum.Vec
+	bytes int64
+}
+
+// colCache is the store-wide LRU of decoded column vectors, bounded by a byte
+// budget. Cached vectors are shared read-only; everyone copies out of them
+// via AppendRange/D, never mutates.
+type colCache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	lru    *list.List // front = most recently used; values are *colEntry
+	m      map[colKey]*list.Element
+}
+
+func newColCache(budget int64) *colCache {
+	return &colCache{budget: budget, lru: list.New(), m: make(map[colKey]*list.Element)}
+}
+
+func (c *colCache) get(k colKey) *datum.Vec {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*colEntry).vec
+}
+
+func (c *colCache) put(k colKey, v *datum.Vec, bytes int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		return // a concurrent reader decoded it first; keep theirs
+	}
+	el := c.lru.PushFront(&colEntry{key: k, vec: v, bytes: bytes})
+	c.m[k] = el
+	c.size += bytes
+	for c.size > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*colEntry)
+		c.lru.Remove(back)
+		delete(c.m, e.key)
+		c.size -= e.bytes
+	}
+}
+
+// dropTable evicts every cached column of one table (table drop/rewrite).
+func (c *colCache) dropTable(t *Table) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*colEntry)
+		if e.key.tab == t {
+			c.lru.Remove(el)
+			delete(c.m, e.key)
+			c.size -= e.bytes
+		}
+		el = next
+	}
+}

@@ -1,0 +1,555 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/faultfs"
+)
+
+func wideDef(name string) *catalog.Table {
+	return &catalog.Table{
+		Name: name,
+		Cols: []catalog.Column{
+			{Name: "i", Kind: datum.KindInt},
+			{Name: "f", Kind: datum.KindFloat},
+			{Name: "s", Kind: datum.KindString},
+			{Name: "b", Kind: datum.KindBool},
+		},
+	}
+}
+
+// randWideRows generates rows over all four kinds with ~1/8 NULLs.
+func randWideRows(n int, seed int64) []datum.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]datum.Row, n)
+	for i := range rows {
+		r := datum.Row{
+			datum.NewInt(rng.Int63n(1000) - 500),
+			datum.NewFloat(rng.NormFloat64() * 100),
+			datum.NewString(string(rune('a' + rng.Intn(26)))),
+			datum.NewBool(rng.Intn(2) == 0),
+		}
+		for j := range r {
+			if rng.Intn(8) == 0 {
+				r[j] = datum.Null
+			}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func newDiskStore(t *testing.T, segRows int) *Store {
+	t.Helper()
+	return NewStoreWith(StoreConfig{Dir: t.TempDir(), SegmentRows: segRows})
+}
+
+func sameRows(t *testing.T, got, want []datum.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d width %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			g, w := got[i][j], want[i][j]
+			if g.IsNull() != w.IsNull() {
+				t.Fatalf("row %d col %d: null mismatch (%v vs %v)", i, j, g, w)
+			}
+			if g.IsNull() {
+				continue
+			}
+			// Bit-exact for floats (NaN != NaN under Compare semantics).
+			if g.Kind() == datum.KindFloat && w.Kind() == datum.KindFloat {
+				if math.Float64bits(g.Float()) != math.Float64bits(w.Float()) {
+					t.Fatalf("row %d col %d: float bits %x vs %x", i, j, g.Float(), w.Float())
+				}
+				continue
+			}
+			if datum.Compare(g, w) != 0 || g.Kind() != w.Kind() {
+				t.Fatalf("row %d col %d: %v (%v) vs %v (%v)", i, j, g, g.Kind(), w, w.Kind())
+			}
+		}
+	}
+}
+
+// TestSegmentRoundTripAllKinds: rows of every kind with NULLs survive
+// seal + read across several segments plus an unsealed tail, bit-exact.
+func TestSegmentRoundTripAllKinds(t *testing.T) {
+	s := newDiskStore(t, 16)
+	tab, err := s.CreateTable(wideDef("rt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randWideRows(100, 7) // 6 segments of 16 + 4-row tail
+	if err := tab.InsertBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tab.SegmentLayout()); n != 6 {
+		t.Fatalf("segments = %d, want 6", n)
+	}
+	got, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+
+	// Arbitrary sub-ranges, including ones straddling segment boundaries.
+	for _, r := range [][2]int{{0, 100}, {5, 21}, {16, 32}, {15, 17}, {90, 100}, {40, 40}} {
+		got, err := tab.RowsRange(nil, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, got, want[r[0]:r[1]])
+	}
+
+	// Point lookups.
+	for _, id := range []int{0, 15, 16, 95, 99} {
+		r, err := tab.Row(nil, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, []datum.Row{r}, []datum.Row{want[id]})
+	}
+}
+
+// TestSegmentReload: a fresh store over the same directory adopts the sealed
+// segments and serves identical rows; the unsealed tail is lost unless
+// Flush was called first.
+func TestSegmentReload(t *testing.T) {
+	dir := t.TempDir()
+	want := randWideRows(70, 11)
+	s1 := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 16})
+	tab1, err := s1.CreateTable(wideDef("rl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab1.InsertBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab1.Flush(); err != nil { // seal the 6-row tail
+		t.Fatal(err)
+	}
+
+	s2 := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 16})
+	tab2, err := s2.CreateTable(wideDef("rl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.RowCount() != 70 {
+		t.Fatalf("reloaded RowCount = %d, want 70", tab2.RowCount())
+	}
+	got, err := tab2.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+}
+
+// TestSegmentSpecialFloats: NaN, infinities and -0.0 round-trip bit-exact,
+// and a segment containing NaN drops its zone map (never pruned, never
+// filter-skipped) rather than corrupting the comparison order.
+func TestSegmentSpecialFloats(t *testing.T) {
+	s := newDiskStore(t, 4)
+	def := &catalog.Table{Name: "sf", Cols: []catalog.Column{{Name: "f", Kind: datum.KindFloat}}}
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []datum.Row{
+		{datum.NewFloat(math.NaN())},
+		{datum.NewFloat(math.Inf(1))},
+		{datum.NewFloat(math.Inf(-1))},
+		{datum.NewFloat(math.Copysign(0, -1))},
+	}
+	if err := tab.InsertBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+	// The NaN segment must report ZoneSome for any range predicate: pruning
+	// it (ZoneNone) would lose rows, ZoneAll would skip the filter.
+	disp := tab.SegmentDispositions([]ZonePred{{Ord: 0, Form: ZoneCmp, Op: ZoneGt, C: datum.NewFloat(1e300)}})
+	if len(disp) != 1 || disp[0] != ZoneSome {
+		t.Fatalf("disp over NaN segment = %v, want [ZoneSome]", disp)
+	}
+}
+
+// TestZoneDispositions: with values laid out sorted across segments, range,
+// equality, IN and IS NULL predicates classify segments exactly.
+func TestZoneDispositions(t *testing.T) {
+	s := newDiskStore(t, 4)
+	def := &catalog.Table{Name: "zd", Cols: []catalog.Column{{Name: "a", Kind: datum.KindInt}}}
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment 0: 0..3, segment 1: 4..7, segment 2: 8,9,10,NULL.
+	var rows []datum.Row
+	for v := 0; v < 11; v++ {
+		rows = append(rows, datum.Row{datum.NewInt(int64(v))})
+	}
+	rows = append(rows, datum.Row{datum.Null})
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		pred ZonePred
+		want []ZoneDisp
+	}{
+		{"lt4", ZonePred{Ord: 0, Form: ZoneCmp, Op: ZoneLt, C: datum.NewInt(4)}, []ZoneDisp{ZoneAll, ZoneNone, ZoneNone}},
+		{"ge8", ZonePred{Ord: 0, Form: ZoneCmp, Op: ZoneGe, C: datum.NewInt(8)}, []ZoneDisp{ZoneNone, ZoneNone, ZoneSome}},
+		{"eq5", ZonePred{Ord: 0, Form: ZoneCmp, Op: ZoneEq, C: datum.NewInt(5)}, []ZoneDisp{ZoneNone, ZoneSome, ZoneNone}},
+		{"in", ZonePred{Ord: 0, Form: ZoneIn, List: []datum.D{datum.NewInt(2), datum.NewInt(9)}}, []ZoneDisp{ZoneSome, ZoneNone, ZoneSome}},
+		{"isnull", ZonePred{Ord: 0, Form: ZoneIsNull}, []ZoneDisp{ZoneNone, ZoneNone, ZoneSome}},
+		{"notnull", ZonePred{Ord: 0, Form: ZoneIsNotNull}, []ZoneDisp{ZoneAll, ZoneAll, ZoneSome}},
+		{"never", ZonePred{Ord: 0, Form: ZoneNever}, []ZoneDisp{ZoneNone, ZoneNone, ZoneNone}},
+	}
+	for _, tc := range cases {
+		got := tab.SegmentDispositions([]ZonePred{tc.pred})
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d dispositions, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: segment %d = %v, want %v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+	}
+	// Pruned page count shrinks under a selective predicate.
+	all := tab.PrunedPageCount(nil)
+	few := tab.PrunedPageCount([]ZonePred{cases[0].pred})
+	if few > all {
+		t.Fatalf("pruned pages %d > unpruned %d", few, all)
+	}
+}
+
+// TestBoxedColumnRoundTrip: an INT column holding floats (legal via numeric
+// coercion) forces the boxed per-datum encoding; kinds survive exactly.
+func TestBoxedColumnRoundTrip(t *testing.T) {
+	s := newDiskStore(t, 4)
+	def := &catalog.Table{Name: "bx", Cols: []catalog.Column{{Name: "n", Kind: datum.KindInt}}}
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []datum.Row{
+		{datum.NewInt(1)},
+		{datum.NewFloat(2.5)},
+		{datum.Null},
+		{datum.NewInt(-7)},
+	}
+	if err := tab.InsertBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+}
+
+// TestSegmentStatsMeta: footer aggregation gives exact NULL counts, sane
+// distinct estimates and true extremes.
+func TestSegmentStatsMeta(t *testing.T) {
+	s := newDiskStore(t, 8)
+	def := &catalog.Table{Name: "sm", Cols: []catalog.Column{{Name: "a", Kind: datum.KindInt}}}
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []datum.Row
+	nulls := 0
+	for i := 0; i < 64; i++ {
+		if i%8 == 3 {
+			rows = append(rows, datum.Row{datum.Null})
+			nulls++
+			continue
+		}
+		rows = append(rows, datum.Row{datum.NewInt(int64(i % 20))})
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	segRows, totalRows, pages, cols, ok := tab.SegmentStats()
+	if !ok {
+		t.Fatal("no segment stats for sealed table")
+	}
+	if segRows != 64 || totalRows != 64 {
+		t.Fatalf("rows = %d/%d, want 64/64", segRows, totalRows)
+	}
+	if pages < 1 {
+		t.Fatalf("pages = %d", pages)
+	}
+	cs := cols[0]
+	if cs.NullCount != nulls {
+		t.Fatalf("NullCount = %d, want %d", cs.NullCount, nulls)
+	}
+	if cs.Distinct < 10 || cs.Distinct > 40 { // true distinct is 20
+		t.Fatalf("Distinct = %.1f, want ~20", cs.Distinct)
+	}
+	if !cs.HasZone || cs.Min.Int() != 0 || cs.Max.Int() != 19 {
+		t.Fatalf("zone = %v [%v, %v], want [0, 19]", cs.HasZone, cs.Min, cs.Max)
+	}
+}
+
+// TestFillColumnDiskVsMem: the typed bulk fills read from segments exactly
+// what the in-memory table produces, for ranges and ID lists.
+func TestFillColumnDiskVsMem(t *testing.T) {
+	rows := randWideRows(90, 23)
+	mem := NewTable(wideDef("m"))
+	if err := mem.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	s := newDiskStore(t, 16)
+	dsk, err := s.CreateTable(wideDef("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsk.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for ord := 0; ord < 4; ord++ {
+		kind := wideDef("m").Cols[ord].Kind
+		for trial := 0; trial < 20; trial++ {
+			lo := rng.Intn(90)
+			hi := lo + rng.Intn(90-lo+1)
+			a, b := datum.NewVec(kind, 0), datum.NewVec(kind, 0)
+			if err := mem.FillColumnRange(nil, ord, lo, hi, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := dsk.FillColumnRange(nil, ord, lo, hi, b); err != nil {
+				t.Fatal(err)
+			}
+			compareVecs(t, a, b)
+
+			var ids []int
+			for i := lo; i < hi; i += 1 + rng.Intn(3) {
+				ids = append(ids, i)
+			}
+			a.Reset(kind)
+			b.Reset(kind)
+			if err := mem.FillColumnIDs(nil, ord, ids, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := dsk.FillColumnIDs(nil, ord, ids, b); err != nil {
+				t.Fatal(err)
+			}
+			compareVecs(t, a, b)
+		}
+	}
+}
+
+func compareVecs(t *testing.T, a, b *datum.Vec) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("vec len %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		da, db := a.D(i), b.D(i)
+		if da.IsNull() != db.IsNull() {
+			t.Fatalf("elem %d null mismatch", i)
+		}
+		if !da.IsNull() && datum.Compare(da, db) != 0 {
+			t.Fatalf("elem %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestSegmentFaultInjection: injected failures on every segment I/O stream
+// surface as the typed error, deterministically, and the table remains
+// usable once the fault clears.
+func TestSegmentFaultInjection(t *testing.T) {
+	boom := errors.New("simulated segment I/O failure")
+
+	// Read path: segment.open and segment.read via ScanCtx.
+	for _, op := range []string{"segment.open", "segment.read"} {
+		s := newDiskStore(t, 8)
+		tab, err := s.CreateTable(wideDef("fr"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.InsertBatch(randWideRows(40, 3)); err != nil {
+			t.Fatal(err)
+		}
+		sc := &ScanCtx{Faults: faultfs.New(faultfs.Rule{Op: op, After: 1, Err: boom})}
+		if _, err := tab.Rows(sc); !errors.Is(err, boom) {
+			t.Fatalf("%s: got %v, want injected error", op, err)
+		}
+		// Default typed error when the rule carries none.
+		sc = &ScanCtx{Faults: faultfs.New(faultfs.Rule{Op: op, After: 1})}
+		if _, err := tab.Rows(sc); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("%s: got %v, want faultfs.ErrInjected", op, err)
+		}
+		// Fault cleared: same table serves rows again (cache was not
+		// poisoned by the failed read).
+		if rows, err := tab.Rows(nil); err != nil || len(rows) != 40 {
+			t.Fatalf("%s: after fault cleared: %d rows, err %v", op, len(rows), err)
+		}
+	}
+
+	// Write path: segment.create / segment.write via the store's injector.
+	for _, op := range []string{"segment.create", "segment.write"} {
+		inj := faultfs.New(faultfs.Rule{Op: op, After: 1, Err: boom})
+		s := NewStoreWith(StoreConfig{Dir: t.TempDir(), SegmentRows: 8, Faults: inj})
+		tab, err := s.CreateTable(wideDef("fw"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.InsertBatch(randWideRows(40, 3)); !errors.Is(err, boom) {
+			t.Fatalf("%s: got %v, want injected error", op, err)
+		}
+	}
+}
+
+// TestSortByDiskRewrite: sorting a disk-backed table rewrites its segments
+// in order, leaves no stale files behind, and survives a reload.
+func TestSortByDiskRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
+	def := &catalog.Table{Name: "sb", Cols: []catalog.Column{{Name: "a", Kind: datum.KindInt}}}
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var rows []datum.Row
+	for i := 0; i < 50; i++ {
+		rows = append(rows, datum.Row{datum.NewInt(rng.Int63n(1000))})
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SortBy([]datum.SortSpec{{Col: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1][0].Int() > got[i][0].Int() {
+			t.Fatal("not sorted after SortBy")
+		}
+	}
+	// Exactly the sealed segments remain on disk — no leftovers.
+	files, err := filepath.Glob(filepath.Join(dir, "sb", "seg-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(tab.SegmentLayout()) {
+		t.Fatalf("%d files for %d segments", len(files), len(tab.SegmentLayout()))
+	}
+	// After sorting, zone maps make a point predicate prune to few segments.
+	disp := tab.SegmentDispositions([]ZonePred{{Ord: 0, Form: ZoneCmp, Op: ZoneEq, C: got[0][0]}})
+	none := 0
+	for _, d := range disp {
+		if d == ZoneNone {
+			none++
+		}
+	}
+	if len(disp) > 2 && none == 0 {
+		t.Error("sorted table should prune segments for a point predicate")
+	}
+}
+
+// TestSegmentBytesReadAccounting: cold reads report bytes, warm (cached)
+// reads report zero.
+func TestSegmentBytesReadAccounting(t *testing.T) {
+	s := newDiskStore(t, 16)
+	tab, err := s.CreateTable(wideDef("br"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertBatch(randWideRows(64, 29)); err != nil {
+		t.Fatal(err)
+	}
+	v := datum.NewVec(datum.KindInt, 0)
+	cold := &ScanCtx{}
+	if err := tab.FillColumnRange(cold, 0, 0, 64, v); err != nil {
+		t.Fatal(err)
+	}
+	if cold.BytesRead == 0 {
+		t.Fatal("cold read reported zero bytes")
+	}
+	v.Reset(datum.KindInt)
+	warm := &ScanCtx{}
+	if err := tab.FillColumnRange(warm, 0, 0, 64, v); err != nil {
+		t.Fatal(err)
+	}
+	if warm.BytesRead != 0 {
+		t.Fatalf("warm read reported %d bytes, want 0 (column cache)", warm.BytesRead)
+	}
+}
+
+// TestCorruptSegmentRejected: a truncated or magic-less file fails loudly at
+// adoption time instead of serving garbage.
+func TestCorruptSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
+	tab, err := s.CreateTable(wideDef("cr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertBatch(randWideRows(16, 31)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cr", "seg-000000.seg")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
+	if _, err := s2.CreateTable(wideDef("cr")); err == nil {
+		t.Fatal("adopting a truncated segment should fail")
+	}
+}
+
+// BenchmarkFillColumnRange measures the typed bulk column fill against the
+// in-memory heap (the hot path of every vectorized scan).
+func BenchmarkFillColumnRange(b *testing.B) {
+	const n = 65536
+	tab := NewTable(&catalog.Table{Name: "bench", Cols: []catalog.Column{
+		{Name: "a", Kind: datum.KindInt},
+		{Name: "f", Kind: datum.KindFloat},
+	}})
+	rows := make([]datum.Row, n)
+	for i := range rows {
+		rows[i] = datum.Row{datum.NewInt(int64(i)), datum.NewFloat(float64(i) * 0.5)}
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		b.Fatal(err)
+	}
+	for _, ord := range []int{0, 1} {
+		kind := tab.Def.Cols[ord].Kind
+		name := tab.Def.Cols[ord].Name
+		b.Run(name, func(b *testing.B) {
+			v := datum.NewVec(kind, n)
+			b.ReportAllocs()
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				v.Reset(kind)
+				if err := tab.FillColumnRange(nil, ord, 0, n, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

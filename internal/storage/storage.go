@@ -1,41 +1,78 @@
-// Package storage is the in-memory storage engine: heap tables with page
-// accounting and ordered (B-tree-like) secondary indexes. Real disk I/O is
-// replaced by modeled page counts (see DESIGN.md §4); the executor reports
-// simulated page touches so measured and estimated costs are comparable.
+// Package storage is the storage engine: heap tables with page accounting
+// and ordered (B-tree-like) secondary indexes, in two modes. The default
+// in-memory mode keeps rows on the heap with modeled page counts (see
+// DESIGN.md §4). Disk-backed mode (StoreConfig.Dir) additionally seals rows
+// into persistent columnar segment files (segment.go): inserts buffer in an
+// in-memory tail and every SegmentRows rows are written out as typed column
+// blocks with zone-map footers, which scans read back through a store-wide
+// decoded-column LRU cache. Row ids are positional across sealed segments
+// then the tail, so both modes expose the same id space.
 package storage
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/datum"
+	"repro/internal/faultfs"
 )
 
-// PageSize is the modeled page size in bytes.
+// PageSize is the page size in bytes: modeled for in-memory tables, real for
+// segment files.
 const PageSize = 8192
+
+// DefaultSegmentRows is the sealed-segment row count when StoreConfig leaves
+// SegmentRows zero. A multiple of the executor's morsel size, so morsels
+// never straddle a segment boundary.
+const DefaultSegmentRows = 4096
+
+// defaultCacheBytes bounds the decoded-column cache when StoreConfig leaves
+// CacheBytes zero.
+const defaultCacheBytes = 64 << 20
 
 // Table is the stored data for one catalog table.
 type Table struct {
-	Def  *catalog.Table
+	Def *catalog.Table
+	// rows is the in-memory heap — all rows in in-memory mode, the unsealed
+	// tail in disk mode.
 	rows []datum.Row
-	// bytes is the accumulated modeled width of all rows.
+	// bytes is the accumulated modeled width of the rows slice.
 	bytes int
 	// indexes are built lazily and invalidated by writes.
 	indexes map[string]*IndexData
 	mu      sync.RWMutex
+	// store owns the decoded-column cache and write-path fault injector;
+	// nil for standalone in-memory tables (NewTable).
+	store *Store
+	// seg holds the sealed-segment state; nil selects in-memory mode.
+	seg *segTable
 }
 
-// NewTable creates empty storage for a catalog table.
+// segTable is the disk-backed half of a Table.
+type segTable struct {
+	dir     string
+	segRows int
+	// gen is bumped whenever segment files are rewritten (SortBy), so stale
+	// cache entries can never be read back.
+	gen        int
+	nextID     int
+	segs       []segMeta
+	sealedRows int
+	diskBytes  int64
+}
+
+// NewTable creates empty in-memory storage for a catalog table.
 func NewTable(def *catalog.Table) *Table {
 	return &Table{Def: def, indexes: make(map[string]*IndexData)}
 }
 
-// Insert appends a row. The row must match the table arity and column kinds
-// (NULLs allowed unless the column is NOT NULL).
-func (t *Table) Insert(row datum.Row) error {
+// validateRow checks arity, kinds and NOT NULL against the table definition.
+func (t *Table) validateRow(row datum.Row) error {
 	if len(row) != len(t.Def.Cols) {
 		return fmt.Errorf("storage: table %s expects %d columns, got %d", t.Def.Name, len(t.Def.Cols), len(row))
 	}
@@ -51,89 +88,498 @@ func (t *Table) Insert(row datum.Row) error {
 			return fmt.Errorf("storage: column %s.%s expects %s, got %s", t.Def.Name, col.Name, col.Kind, d.Kind())
 		}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.rows = append(t.rows, row.Clone())
-	t.bytes += row.Size()
-	t.indexes = make(map[string]*IndexData) // invalidate
 	return nil
 }
 
-// InsertBatch inserts many rows, stopping at the first error.
+// Insert appends a row. The row must match the table arity and column kinds
+// (NULLs allowed unless the column is NOT NULL).
+func (t *Table) Insert(row datum.Row) error {
+	return t.InsertBatch([]datum.Row{row})
+}
+
+// InsertBatch inserts many rows atomically: every row is validated before any
+// is appended, the lock is taken once, and indexes are invalidated once —
+// not the insert-per-row loop this used to be, which re-allocated the index
+// map for every single row. In disk mode, full SegmentRows chunks of the tail
+// are sealed to segment files before the lock is released.
 func (t *Table) InsertBatch(rows []datum.Row) error {
 	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
+		if err := t.validateRow(r); err != nil {
 			return err
 		}
 	}
+	if len(rows) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		t.rows = append(t.rows, r.Clone())
+		t.bytes += r.Size()
+	}
+	if len(t.indexes) > 0 {
+		t.indexes = make(map[string]*IndexData) // invalidate
+	}
+	if t.seg != nil {
+		for len(t.rows) >= t.seg.segRows {
+			if err := t.sealLocked(t.seg.segRows); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// Flush seals the unsealed tail of a disk-backed table into a (possibly
+// short) segment, making every row durable. A no-op for in-memory tables and
+// empty tails.
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seg == nil || len(t.rows) == 0 {
+		return nil
+	}
+	return t.sealLocked(len(t.rows))
+}
+
+// sealLocked writes the first n tail rows as a segment file. Caller holds
+// t.mu.
+func (t *Table) sealLocked(n int) error {
+	chunk := t.rows[:n]
+	vecs := make([]*datum.Vec, len(t.Def.Cols))
+	for ci, col := range t.Def.Cols {
+		v := datum.NewVec(col.Kind, n)
+		v.AppendRowsCol(chunk, ci)
+		vecs[ci] = v
+	}
+	var faults *faultfs.Injector
+	if t.store != nil {
+		faults = t.store.cfg.Faults
+	}
+	raw, metas, err := encodeSegment(vecs, faults)
+	if err != nil {
+		return err
+	}
+	id := t.seg.nextID
+	if err := os.WriteFile(t.segPath(id), raw, 0o644); err != nil {
+		return err
+	}
+	sm := segMeta{id: id, startRow: t.seg.sealedRows, rows: n, bytes: int64(len(raw)), cols: metas}
+	t.seg.segs = append(t.seg.segs, sm)
+	t.seg.nextID = id + 1
+	t.seg.sealedRows += n
+	t.seg.diskBytes += sm.bytes
+	var w int
+	for _, r := range chunk {
+		w += r.Size()
+	}
+	t.bytes -= w
+	t.rows = append(t.rows[:0], t.rows[n:]...)
+	return nil
+}
+
+func (t *Table) segPath(id int) string {
+	return filepath.Join(t.seg.dir, fmt.Sprintf("seg-%06d.seg", id))
+}
+
+// cache returns the owning store's decoded-column cache (nil-safe).
+func (t *Table) cache() *colCache {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.cache
+}
+
+// readColumnLocked returns the decoded column ord of segment si, serving from
+// the cache when possible. Caller holds t.mu (read or write).
+func (t *Table) readColumnLocked(sc *ScanCtx, si, ord int) (*datum.Vec, error) {
+	sm := &t.seg.segs[si]
+	key := colKey{tab: t, gen: t.seg.gen, seg: sm.id, ord: ord}
+	if v := t.cache().get(key); v != nil {
+		return v, nil
+	}
+	v, err := readColumnBlock(sc, t.segPath(sm.id), sm, ord)
+	if err != nil {
+		return nil, err
+	}
+	// Budget by encoded size plus fixed per-row overhead — close enough for
+	// an eviction heuristic.
+	t.cache().put(key, v, sm.cols[ord].blockLen+int64(8*sm.rows))
+	return v, nil
+}
+
+// segIndexLocked returns the index of the segment containing row id (which
+// must be < sealedRows).
+func (t *Table) segIndexLocked(id int) int {
+	segs := t.seg.segs
+	return sort.Search(len(segs), func(i int) bool {
+		return segs[i].startRow+segs[i].rows > id
+	})
 }
 
 // RowCount returns the number of stored rows.
 func (t *Table) RowCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.rowCountLocked()
+}
+
+func (t *Table) rowCountLocked() int {
+	if t.seg != nil {
+		return t.seg.sealedRows + len(t.rows)
+	}
 	return len(t.rows)
 }
 
-// PageCount returns the modeled number of pages the heap occupies.
+// PageCount returns the number of pages the table occupies: modeled from row
+// widths in in-memory mode, real file bytes (plus the modeled tail) in disk
+// mode.
 func (t *Table) PageCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if t.bytes == 0 {
+	total := int64(t.bytes)
+	if t.seg != nil {
+		total += t.seg.diskBytes
+	}
+	if total == 0 {
 		return 0
 	}
-	return (t.bytes + PageSize - 1) / PageSize
+	return int((total + PageSize - 1) / PageSize)
 }
 
-// Rows returns the stored rows. Callers must not mutate them.
-func (t *Table) Rows() []datum.Row {
+// Rows materializes every stored row. Callers must not mutate them. For
+// in-memory tables this is the heap slice itself and cannot fail.
+func (t *Table) Rows(sc *ScanCtx) ([]datum.Row, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows
+	if t.seg == nil {
+		return t.rows, nil
+	}
+	return t.rowsRangeLocked(sc, 0, t.rowCountLocked())
+}
+
+// RowsRange materializes rows [lo, hi). For in-memory tables this is a
+// subslice of the heap; for disk tables the range is gathered from decoded
+// segment columns and the tail.
+func (t *Table) RowsRange(sc *ScanCtx, lo, hi int) ([]datum.Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.seg == nil {
+		return t.rows[lo:hi], nil
+	}
+	return t.rowsRangeLocked(sc, lo, hi)
+}
+
+func (t *Table) rowsRangeLocked(sc *ScanCtx, lo, hi int) ([]datum.Row, error) {
+	if hi <= lo {
+		return nil, nil
+	}
+	out := make([]datum.Row, 0, hi-lo)
+	ncols := len(t.Def.Cols)
+	pos := lo
+	for pos < hi && pos < t.seg.sealedRows {
+		si := t.segIndexLocked(pos)
+		sm := &t.seg.segs[si]
+		segLo := pos - sm.startRow
+		segHi := min(hi-sm.startRow, sm.rows)
+		cols := make([]*datum.Vec, ncols)
+		for ci := 0; ci < ncols; ci++ {
+			v, err := t.readColumnLocked(sc, si, ci)
+			if err != nil {
+				return nil, err
+			}
+			cols[ci] = v
+		}
+		for i := segLo; i < segHi; i++ {
+			r := make(datum.Row, ncols)
+			for ci := 0; ci < ncols; ci++ {
+				r[ci] = cols[ci].D(i)
+			}
+			out = append(out, r)
+		}
+		pos = sm.startRow + segHi
+	}
+	for ; pos < hi; pos++ {
+		out = append(out, t.rows[pos-t.seg.sealedRows])
+	}
+	return out, nil
 }
 
 // Row returns the row with the given row id.
-func (t *Table) Row(id int) datum.Row {
+func (t *Table) Row(sc *ScanCtx, id int) (datum.Row, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows[id]
+	if t.seg == nil {
+		return t.rows[id], nil
+	}
+	if id >= t.seg.sealedRows {
+		return t.rows[id-t.seg.sealedRows], nil
+	}
+	si := t.segIndexLocked(id)
+	sm := &t.seg.segs[si]
+	r := make(datum.Row, len(t.Def.Cols))
+	for ci := range r {
+		v, err := t.readColumnLocked(sc, si, ci)
+		if err != nil {
+			return nil, err
+		}
+		r[ci] = v.D(id - sm.startRow)
+	}
+	return r, nil
+}
+
+// ColValue returns one column of one row — the point-lookup form used by
+// index-range post-filters, which would waste work materializing whole rows.
+func (t *Table) ColValue(sc *ScanCtx, id, ord int) (datum.D, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.seg == nil {
+		return t.rows[id][ord], nil
+	}
+	if id >= t.seg.sealedRows {
+		return t.rows[id-t.seg.sealedRows][ord], nil
+	}
+	si := t.segIndexLocked(id)
+	v, err := t.readColumnLocked(sc, si, ord)
+	if err != nil {
+		return datum.Null, err
+	}
+	return v.D(id - t.seg.segs[si].startRow), nil
 }
 
 // FillColumnRange appends column ord of rows [lo, hi) to v — the
 // batch-granular scan API of the vectorized execution path: one lock
 // acquisition and one column fill per morsel instead of a row-at-a-time
-// iterator. Values whose dynamic kind disagrees with v's kind (numeric
-// coercion allows that) switch v to its boxed representation, so the fill
-// never fails.
-func (t *Table) FillColumnRange(ord, lo, hi int, v *datum.Vec) {
+// iterator. In-memory rows take the typed bulk-append fast path
+// (Vec.AppendRowsCol); disk rows bulk-copy out of decoded segment columns
+// (Vec.AppendRange). Values whose dynamic kind disagrees with v's kind
+// (numeric coercion allows that) switch v to its boxed representation, so
+// the fill itself never fails — only segment I/O can.
+func (t *Table) FillColumnRange(sc *ScanCtx, ord, lo, hi int, v *datum.Vec) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, r := range t.rows[lo:hi] {
-		v.AppendD(r[ord])
+	if t.seg == nil {
+		v.AppendRowsCol(t.rows[lo:hi], ord)
+		return nil
 	}
+	pos := lo
+	for pos < hi && pos < t.seg.sealedRows {
+		si := t.segIndexLocked(pos)
+		sm := &t.seg.segs[si]
+		col, err := t.readColumnLocked(sc, si, ord)
+		if err != nil {
+			return err
+		}
+		segHi := min(hi-sm.startRow, sm.rows)
+		v.AppendRange(col, pos-sm.startRow, segHi)
+		pos = sm.startRow + segHi
+	}
+	if pos < hi {
+		v.AppendRowsCol(t.rows[pos-t.seg.sealedRows:hi-t.seg.sealedRows], ord)
+	}
+	return nil
 }
 
 // FillColumnIDs appends column ord of the rows with the given ids to v, in
 // id order — the gather form of the batch scan API used by index scans and
 // late materialization of filtered scans.
-func (t *Table) FillColumnIDs(ord int, ids []int, v *datum.Vec) {
+func (t *Table) FillColumnIDs(sc *ScanCtx, ord int, ids []int, v *datum.Vec) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, id := range ids {
-		v.AppendD(t.rows[id][ord])
+	if t.seg == nil {
+		for _, id := range ids {
+			v.AppendD(t.rows[id][ord])
+		}
+		return nil
 	}
+	// Ids are usually ascending (selection vectors, index postings), so the
+	// decoded column of the previous id is cached locally across iterations.
+	curSeg := -1
+	var cur *datum.Vec
+	for _, id := range ids {
+		if id >= t.seg.sealedRows {
+			v.AppendD(t.rows[id-t.seg.sealedRows][ord])
+			continue
+		}
+		si := t.segIndexLocked(id)
+		if si != curSeg {
+			col, err := t.readColumnLocked(sc, si, ord)
+			if err != nil {
+				return err
+			}
+			curSeg, cur = si, col
+		}
+		v.AppendVec(cur, id-t.seg.segs[si].startRow)
+	}
+	return nil
 }
 
 // SortBy physically reorders the heap by the given sort spec — used to
-// realize a clustered index.
-func (t *Table) SortBy(spec []datum.SortSpec) {
+// realize a clustered index. Disk-backed tables are rewritten: every sealed
+// segment is re-sealed from the sorted rows under a new cache generation.
+func (t *Table) SortBy(spec []datum.SortSpec) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sort.SliceStable(t.rows, func(i, j int) bool {
-		return datum.CompareRows(t.rows[i], t.rows[j], spec) < 0
-	})
+	if t.seg != nil {
+		all, err := t.rowsRangeLocked(nil, 0, t.rowCountLocked())
+		if err != nil {
+			return err
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			return datum.CompareRows(all[i], all[j], spec) < 0
+		})
+		if err := t.rewriteLocked(all); err != nil {
+			return err
+		}
+	} else {
+		sort.SliceStable(t.rows, func(i, j int) bool {
+			return datum.CompareRows(t.rows[i], t.rows[j], spec) < 0
+		})
+	}
 	t.indexes = make(map[string]*IndexData)
+	return nil
+}
+
+// rewriteLocked replaces all sealed segments and the tail with the given
+// rows. Caller holds t.mu.
+func (t *Table) rewriteLocked(all []datum.Row) error {
+	oldCount := t.seg.nextID
+	t.cache().dropTable(t)
+	t.seg.gen++
+	t.seg.segs = t.seg.segs[:0]
+	t.seg.nextID = 0
+	t.seg.sealedRows = 0
+	t.seg.diskBytes = 0
+	t.rows = all
+	t.bytes = 0
+	for _, r := range all {
+		t.bytes += r.Size()
+	}
+	for len(t.rows) >= t.seg.segRows {
+		if err := t.sealLocked(t.seg.segRows); err != nil {
+			return err
+		}
+	}
+	// Remove files the rewrite did not overwrite (a previous Flush can leave
+	// more, shorter segments than the resealing produces).
+	for id := t.seg.nextID; id < oldCount; id++ {
+		os.Remove(t.segPath(id))
+	}
+	return nil
+}
+
+// SegmentLayout returns the sealed segments in row order, or nil for
+// in-memory tables. Rows at ids >= the last segment's end live in the
+// unsealed tail.
+func (t *Table) SegmentLayout() []SegmentInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.seg == nil || len(t.seg.segs) == 0 {
+		return nil
+	}
+	out := make([]SegmentInfo, len(t.seg.segs))
+	for i, sm := range t.seg.segs {
+		out[i] = SegmentInfo{ID: sm.id, StartRow: sm.startRow, Rows: sm.rows, Bytes: sm.bytes}
+	}
+	return out
+}
+
+// SegmentDispositions confronts each sealed segment's zone maps with the
+// compiled predicate conjunction. A nil or empty preds slice yields ZoneSome
+// everywhere (nothing can be eliminated, nothing is known to fully match).
+func (t *Table) SegmentDispositions(preds []ZonePred) []ZoneDisp {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.seg == nil || len(t.seg.segs) == 0 {
+		return nil
+	}
+	out := make([]ZoneDisp, len(t.seg.segs))
+	for i := range t.seg.segs {
+		if len(preds) == 0 {
+			out[i] = ZoneSome
+			continue
+		}
+		out[i] = dispSegment(&t.seg.segs[i], preds)
+	}
+	return out
+}
+
+// PrunedPageCount returns the table's page count with zone-map-eliminated
+// segments removed — what a sequential scan under the given predicates
+// actually reads. Returns -1 when the table has no sealed segments (nothing
+// to prune against).
+func (t *Table) PrunedPageCount(preds []ZonePred) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.seg == nil || len(t.seg.segs) == 0 {
+		return -1
+	}
+	var bytes int64
+	for i := range t.seg.segs {
+		if dispSegment(&t.seg.segs[i], preds) != ZoneNone {
+			bytes += t.seg.segs[i].bytes
+		}
+	}
+	bytes += int64(t.bytes) // unsealed tail is always read
+	if bytes == 0 {
+		return 0
+	}
+	return int((bytes + PageSize - 1) / PageSize)
+}
+
+// SegColStats is the per-column summary derived from sealed-segment footers.
+type SegColStats struct {
+	NullCount int
+	// Distinct is the linear-counting estimate over the unioned per-segment
+	// sketches — coarse (the 256-bit sketch saturates around a few hundred
+	// values) but free.
+	Distinct float64
+	HasZone  bool
+	Min, Max datum.D
+}
+
+// SegmentStats aggregates sealed-segment metadata into table-level shape:
+// the coarse statistics the optimizer falls back on when ANALYZE-built stats
+// are missing or stale. ok is false when the table has no sealed segments.
+// Rows counts sealed rows only; TotalRows includes the unsealed tail.
+func (t *Table) SegmentStats() (rows, totalRows, pages int, cols []SegColStats, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.seg == nil || len(t.seg.segs) == 0 {
+		return 0, 0, 0, nil, false
+	}
+	ncols := len(t.Def.Cols)
+	cols = make([]SegColStats, ncols)
+	sketches := make([][sketchBytes]byte, ncols)
+	for si := range t.seg.segs {
+		sm := &t.seg.segs[si]
+		for ci := 0; ci < ncols && ci < len(sm.cols); ci++ {
+			cm := &sm.cols[ci]
+			cs := &cols[ci]
+			cs.NullCount += cm.nullCount
+			unionSketch(&sketches[ci], cm.sketch)
+			if cm.hasZone {
+				if !cs.HasZone {
+					cs.HasZone, cs.Min, cs.Max = true, cm.min, cm.max
+				} else {
+					if datum.Compare(cm.min, cs.Min) < 0 {
+						cs.Min = cm.min
+					}
+					if datum.Compare(cm.max, cs.Max) > 0 {
+						cs.Max = cm.max
+					}
+				}
+			}
+		}
+	}
+	rows = t.seg.sealedRows
+	for ci := range cols {
+		cols[ci].Distinct = sketchDistinct(sketches[ci], float64(rows-cols[ci].NullCount))
+	}
+	totalRows = t.rowCountLocked()
+	total := t.seg.diskBytes + int64(t.bytes)
+	pages = int((total + PageSize - 1) / PageSize)
+	return rows, totalRows, pages, cols, true
 }
 
 // IndexData is a built (sorted) secondary index: key columns plus row ids,
@@ -145,7 +591,9 @@ type IndexData struct {
 	KeyCols []int
 }
 
-// Index returns (building if necessary) the named index's data.
+// Index returns (building if necessary) the named index's data. Disk-backed
+// tables materialize their rows for the build; the built index is cached
+// until the next write.
 func (t *Table) Index(name string) (*IndexData, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -163,10 +611,18 @@ func (t *Table) Index(name string) (*IndexData, error) {
 	if def == nil {
 		return nil, fmt.Errorf("storage: table %s has no index %q", t.Def.Name, name)
 	}
+	rows := t.rows
+	if t.seg != nil {
+		var err error
+		rows, err = t.rowsRangeLocked(nil, 0, t.rowCountLocked())
+		if err != nil {
+			return nil, err
+		}
+	}
 	ix := &IndexData{Def: def, KeyCols: def.Cols}
-	ix.keys = make([]datum.Row, len(t.rows))
-	ix.rowIDs = make([]int, len(t.rows))
-	for i, r := range t.rows {
+	ix.keys = make([]datum.Row, len(rows))
+	ix.rowIDs = make([]int, len(rows))
+	for i, r := range rows {
 		key := make(datum.Row, len(def.Cols))
 		for j, ord := range def.Cols {
 			key[j] = r[ord]
@@ -174,7 +630,7 @@ func (t *Table) Index(name string) (*IndexData, error) {
 		ix.keys[i] = key
 		ix.rowIDs[i] = i
 	}
-	order := make([]int, len(t.rows))
+	order := make([]int, len(rows))
 	for i := range order {
 		order[i] = i
 	}
@@ -260,18 +716,57 @@ func (ix *IndexData) SeekRange(lo datum.D, loIncl bool, hi datum.D, hiIncl bool)
 	return out
 }
 
+// StoreConfig selects the storage mode and its knobs.
+type StoreConfig struct {
+	// Dir, when non-empty, makes tables disk-backed: each table seals its
+	// rows into columnar segment files under Dir/<table>/. Empty keeps the
+	// historical in-memory behavior.
+	Dir string
+	// SegmentRows is the sealed-segment row count (DefaultSegmentRows when
+	// zero). Should stay a multiple of the executor's morsel size.
+	SegmentRows int
+	// CacheBytes bounds the store-wide decoded-column LRU cache
+	// (defaultCacheBytes when zero).
+	CacheBytes int64
+	// Faults, when non-nil, injects errors into the segment write path
+	// ("segment.create"/"segment.write" operation streams). The read path
+	// takes its injector per-scan via ScanCtx instead.
+	Faults *faultfs.Injector
+}
+
 // Store maps table names to stored tables.
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	cfg    StoreConfig
+	cache  *colCache
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{tables: make(map[string]*Table)}
+// NewStore returns an empty in-memory store.
+func NewStore() *Store { return NewStoreWith(StoreConfig{}) }
+
+// NewStoreWith returns an empty store in the mode cfg selects.
+func NewStoreWith(cfg StoreConfig) *Store {
+	s := &Store{tables: make(map[string]*Table), cfg: cfg}
+	if cfg.Dir != "" {
+		if s.cfg.SegmentRows <= 0 {
+			s.cfg.SegmentRows = DefaultSegmentRows
+		}
+		if s.cfg.CacheBytes <= 0 {
+			s.cfg.CacheBytes = defaultCacheBytes
+		}
+		s.cache = newColCache(s.cfg.CacheBytes)
+	}
+	return s
 }
 
-// CreateTable allocates storage for a catalog table.
+// DiskBacked reports whether tables seal rows into segment files.
+func (s *Store) DiskBacked() bool { return s.cfg.Dir != "" }
+
+// CreateTable allocates storage for a catalog table. In disk mode, segment
+// files already present in the table's directory (from a previous process)
+// are adopted, so restarting an engine over the same StorageDir sees its
+// sealed rows again.
 func (s *Store) CreateTable(def *catalog.Table) (*Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -280,8 +775,74 @@ func (s *Store) CreateTable(def *catalog.Table) (*Table, error) {
 		return nil, fmt.Errorf("storage: table %q already exists", def.Name)
 	}
 	t := NewTable(def)
+	t.store = s
+	if s.cfg.Dir != "" {
+		dir := filepath.Join(s.cfg.Dir, k)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: creating table directory: %w", err)
+		}
+		t.seg = &segTable{dir: dir, segRows: s.cfg.SegmentRows}
+		if err := t.loadSegments(); err != nil {
+			return nil, err
+		}
+	}
 	s.tables[k] = t
 	return t, nil
+}
+
+// loadSegments adopts segment files present in the table directory.
+func (t *Table) loadSegments() error {
+	entries, err := os.ReadDir(t.seg.dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names) // zero-padded ids: lexicographic == numeric
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(name, "seg-%06d.seg", &id); err != nil {
+			return fmt.Errorf("storage: unexpected segment file name %q", name)
+		}
+		sm, err := readSegmentFooter(filepath.Join(t.seg.dir, name))
+		if err != nil {
+			return err
+		}
+		if len(sm.cols) != len(t.Def.Cols) {
+			return fmt.Errorf("storage: segment %s has %d columns, table %s has %d",
+				name, len(sm.cols), t.Def.Name, len(t.Def.Cols))
+		}
+		sm.id = id
+		sm.startRow = t.seg.sealedRows
+		t.seg.segs = append(t.seg.segs, sm)
+		t.seg.sealedRows += sm.rows
+		t.seg.diskBytes += sm.bytes
+		if id >= t.seg.nextID {
+			t.seg.nextID = id + 1
+		}
+	}
+	return nil
+}
+
+// FlushAll seals every table's unsealed tail (no-op for in-memory stores).
+func (s *Store) FlushAll() error {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range tables {
+		if err := t.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table looks up stored data by table name.

@@ -23,6 +23,24 @@ func testDef() *catalog.Table {
 	}
 }
 
+func mustRows(t *testing.T, tab *Table) []datum.Row {
+	t.Helper()
+	rows, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func mustRow(t *testing.T, tab *Table, id int) datum.Row {
+	t.Helper()
+	r, err := tab.Row(nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestInsertAndScan(t *testing.T) {
 	tab := NewTable(testDef())
 	rows := []datum.Row{
@@ -36,7 +54,7 @@ func TestInsertAndScan(t *testing.T) {
 	if tab.RowCount() != 3 {
 		t.Fatalf("RowCount = %d", tab.RowCount())
 	}
-	if tab.Row(1)[0].Int() != 1 {
+	if mustRow(t, tab, 1)[0].Int() != 1 {
 		t.Error("Row(1) wrong")
 	}
 	if tab.PageCount() != 1 {
@@ -93,7 +111,7 @@ func TestIndexSeekEq(t *testing.T) {
 		t.Fatalf("SeekEq(5) = %v, want 3 matches", got)
 	}
 	for _, id := range got {
-		if tab.Row(id)[0].Int() != 5 {
+		if mustRow(t, tab, id)[0].Int() != 5 {
 			t.Errorf("row %d is not a 5", id)
 		}
 	}
@@ -185,7 +203,7 @@ func TestMultiColumnIndex(t *testing.T) {
 	}
 	// Full-key seek.
 	ids = ix.SeekEq(datum.Row{datum.NewString("x"), datum.NewInt(2)})
-	if len(ids) != 1 || tab.Row(ids[0])[0].Int() != 2 {
+	if len(ids) != 1 || mustRow(t, tab, ids[0])[0].Int() != 2 {
 		t.Fatalf("full SeekEq = %v", ids)
 	}
 }
@@ -195,8 +213,10 @@ func TestSortBy(t *testing.T) {
 	for _, v := range []int64{3, 1, 2} {
 		tab.Insert(datum.Row{datum.NewInt(v), datum.Null})
 	}
-	tab.SortBy([]datum.SortSpec{{Col: 0}})
-	rows := tab.Rows()
+	if err := tab.SortBy([]datum.SortSpec{{Col: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustRows(t, tab)
 	for i := 1; i < len(rows); i++ {
 		if rows[i-1][0].Int() > rows[i][0].Int() {
 			t.Fatal("SortBy did not order heap")
@@ -257,7 +277,7 @@ func TestSeekRangeMatchesLinearQuick(t *testing.T) {
 		}
 		got := ix.SeekRange(dlo, loIncl, dhi, hiIncl)
 		want := map[int]bool{}
-		for id, r := range tab.Rows() {
+		for id, r := range mustRows(t, tab) {
 			v := r[0]
 			if v.IsNull() {
 				continue

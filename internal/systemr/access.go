@@ -6,21 +6,6 @@ import (
 	"repro/internal/physical"
 )
 
-// tableShape returns row and page counts for costing.
-func tableShape(t *logical.Scan, m *logicalMetaShim) (rows, pages float64) {
-	if t.Table.Stats != nil {
-		rows = t.Table.Stats.RowCount
-		pages = t.Table.Stats.PageCount
-	}
-	if pages < 1 {
-		pages = 1
-	}
-	return rows, pages
-}
-
-// logicalMetaShim is a tiny indirection so access-path code reads clearly.
-type logicalMetaShim = logical.Metadata
-
 // ordToColID maps a base-table ordinal of the scan to its query column ID.
 func (o *Optimizer) ordToColID(scan *logical.Scan, ord int) (logical.ColumnID, bool) {
 	for _, id := range scan.Cols {
@@ -114,7 +99,10 @@ func hasParamOrd(ords []int) bool {
 // occurrence under the given (already pushed-down) filters: a sequential
 // scan, qualified index scans, and full index scans that provide order.
 func (o *Optimizer) accessPaths(scan *logical.Scan, filters []logical.Scalar) []physical.Plan {
-	tableRows, tablePages := tableShape(scan, o.Est.Meta)
+	// Page count reflects zone-map segment elimination under the pushed-down
+	// filters: pruned segments are never read, so the seq-scan candidate is
+	// charged only the pages a real scan would touch.
+	tableRows, tablePages := o.Est.TableShape(scan, filters)
 	// Output rows are a logical property — identical for all candidates.
 	var outRel logical.RelExpr = scan
 	if len(filters) > 0 {

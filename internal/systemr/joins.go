@@ -136,7 +136,9 @@ func (o *Optimizer) inlCandidate(kind logical.JoinKind, l physical.Plan, rightLe
 		return nil
 	}
 	rStats := o.Est.Stats(scan)
-	tableRows, tablePages := tableShape(scan, o.Est.Meta)
+	// Index probes fetch by row ID, so segment pruning does not apply here:
+	// shape is taken without filters.
+	tableRows, tablePages := o.Est.TableShape(scan, nil)
 
 	var best physical.Plan
 	bestCost := math.Inf(1)

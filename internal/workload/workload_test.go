@@ -5,8 +5,28 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/datum"
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
+
+func mustRows(t *testing.T, tab *storage.Table) []datum.Row {
+	t.Helper()
+	rows, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func mustRow(t *testing.T, tab *storage.Table, id int) datum.Row {
+	t.Helper()
+	r, err := tab.Row(nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
 
 func TestEmpDeptShape(t *testing.T) {
 	db := EmpDept(EmpDeptConfig{Emps: 500, Depts: 25, Seed: 1})
@@ -26,7 +46,7 @@ func TestEmpDeptShape(t *testing.T) {
 		t.Errorf("dept rows = %d", dt.RowCount())
 	}
 	// FK integrity: every non-NULL did must reference an existing dept.
-	for _, r := range et.Rows() {
+	for _, r := range mustRows(t, et) {
 		if r[2].IsNull() {
 			continue
 		}
@@ -54,7 +74,7 @@ func TestEmpDeptDeterministic(t *testing.T) {
 	at, _ := a.Store.Table("emp")
 	bt, _ := b.Store.Table("emp")
 	for i := 0; i < 50; i++ {
-		if at.Row(i).String() != bt.Row(i).String() {
+		if mustRow(t, at, i).String() != mustRow(t, bt, i).String() {
 			t.Fatalf("row %d differs across identical seeds", i)
 		}
 	}
@@ -75,7 +95,7 @@ func TestStarShape(t *testing.T) {
 		t.Errorf("fact indexes = %d, want 3", len(fact.Indexes))
 	}
 	ft, _ := db.Store.Table("sales")
-	for _, r := range ft.Rows() {
+	for _, r := range mustRows(t, ft) {
 		if k := r[0].Int(); k < 0 || k >= 10 {
 			t.Fatalf("k1 out of range: %d", k)
 		}
@@ -89,7 +109,7 @@ func TestStarSkew(t *testing.T) {
 	db := Star(StarConfig{FactRows: 20000, DimRows: []int{100}, Seed: 3, Skew: 1.5})
 	ft, _ := db.Store.Table("sales")
 	freq := map[int64]int{}
-	for _, r := range ft.Rows() {
+	for _, r := range mustRows(t, ft) {
 		freq[r[0].Int()]++
 	}
 	// Zipfian: key 0 should dominate.

@@ -163,6 +163,25 @@ type Options struct {
 	// next ANALYZE. Default off: plans then see exactly the statistics the
 	// last ANALYZE built.
 	IncrementalStats bool
+	// StorageDir, when non-empty, makes tables disk-backed: rows seal into
+	// persistent columnar segment files (typed column blocks with min/max
+	// zone maps, NULL counts and distinct sketches per column) under
+	// StorageDir/<table>/, scans eliminate segments their predicates cannot
+	// match without touching disk, and segment metadata serves as coarse
+	// statistics when ANALYZE-built stats are missing or stale. Empty (the
+	// default) keeps the historical in-memory heap.
+	StorageDir string
+	// SegmentRows is the sealed-segment row count in disk-backed mode
+	// (default 4096 — a multiple of the executor's morsel size, so morsels
+	// never straddle segments).
+	SegmentRows int
+	// SegmentCacheBytes bounds the decoded-column cache in disk-backed mode
+	// (default 64 MiB). Tests set it tiny to force every read cold.
+	SegmentCacheBytes int64
+	// DisableZoneMaps turns off zone-map segment elimination and pruned-page
+	// costing in disk-backed mode: every segment is read and filtered. The
+	// control arm of the storage benchmarks.
+	DisableZoneMaps bool
 }
 
 // VectorizeMode selects between the columnar batch path and pure row
@@ -270,9 +289,13 @@ func New(opts Options) *Engine {
 		opts.SystemR.GreedyCostThreshold = opts.GreedyCostThreshold
 	}
 	eng := &Engine{
-		opts:     opts,
-		cat:      catalog.New(),
-		store:    storage.NewStore(),
+		opts: opts,
+		cat:  catalog.New(),
+		store: storage.NewStoreWith(storage.StoreConfig{
+			Dir:         opts.StorageDir,
+			SegmentRows: opts.SegmentRows,
+			CacheBytes:  opts.SegmentCacheBytes,
+		}),
 		feedback: physical.NewFeedbackRing(opts.FeedbackCapacity),
 		replan:   make(map[string]struct{}),
 	}
@@ -380,6 +403,13 @@ type ExecStats struct {
 	// PeakMemBytes is the query's working-memory high-water mark against the
 	// memory account (reserved plus observed materialization points).
 	PeakMemBytes int64
+	// SegmentsRead / SegmentsPruned count disk-backed columnar segments the
+	// query's scans read vs eliminated via zone maps; BytesRead is real
+	// segment-file bytes read from disk (cache misses only — warm scans read
+	// zero). All zero for in-memory engines.
+	SegmentsRead   int64
+	SegmentsPruned int64
+	BytesRead      int64
 }
 
 // RegisterPredicate registers a user-defined predicate callable from SQL
@@ -554,7 +584,9 @@ func (e *Engine) createIndex(t *sql.CreateIndexStmt) (*Result, error) {
 			for _, ord := range ix.Cols {
 				spec = append(spec, datum.SortSpec{Col: ord})
 			}
-			tab.SortBy(spec)
+			if err := tab.SortBy(spec); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return &Result{}, nil
@@ -578,6 +610,7 @@ func (e *Engine) insert(t *sql.InsertStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("queryopt: unknown table %q", t.Table)
 	}
+	rows := make([]datum.Row, 0, len(t.Rows))
 	for _, rowExprs := range t.Rows {
 		row := make(datum.Row, len(rowExprs))
 		for i, expr := range rowExprs {
@@ -592,10 +625,13 @@ func (e *Engine) insert(t *sql.InsertStmt) (*Result, error) {
 			}
 			row[i] = v
 		}
-		if err := tab.Insert(row); err != nil {
-			return nil, err
-		}
-		if e.opts.IncrementalStats {
+		rows = append(rows, row)
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		return nil, err
+	}
+	if e.opts.IncrementalStats {
+		for _, row := range rows {
 			e.maintainStats(tab.Def, row)
 		}
 	}
@@ -621,14 +657,18 @@ func buildConstExpr(e sql.Expr) (logical.Scalar, error) {
 
 func (e *Engine) analyze(t *sql.AnalyzeStmt) (*Result, error) {
 	if t.Table == "" {
-		stats.AnalyzeAll(e.store, e.cat, e.opts.Analyze)
+		if err := stats.AnalyzeAll(e.store, e.cat, e.opts.Analyze); err != nil {
+			return nil, err
+		}
 		return &Result{}, nil
 	}
 	tab, ok := e.store.Table(t.Table)
 	if !ok {
 		return nil, fmt.Errorf("queryopt: unknown table %q", t.Table)
 	}
-	stats.Analyze(tab, e.opts.Analyze)
+	if err := stats.Analyze(tab, e.opts.Analyze); err != nil {
+		return nil, err
+	}
 	return &Result{}, nil
 }
 
@@ -799,6 +839,7 @@ func (e *Engine) newExecCtx(ctx context.Context, meta *logical.Metadata) *exec.C
 	ec.TempDir = e.opts.TempDir
 	ec.Faults = e.faults
 	ec.Vectorize = e.opts.Vectorize != VectorizeOff
+	ec.NoPrune = e.opts.DisableZoneMaps
 	if e.opts.Parallelism > 1 {
 		ec.Parallelism = e.opts.Parallelism
 		ec.Pool = e.pool
@@ -820,6 +861,36 @@ func (e *Engine) costModel() cost.Model {
 func (e *Engine) newEstimator(md *logical.Metadata) *stats.Estimator {
 	est := stats.NewEstimator(md)
 	est.Overrides = e.overrides
+	if e.store.DiskBacked() {
+		// Segment footers double as coarse, always-current statistics when
+		// ANALYZE output is missing or has drifted from the stored data.
+		est.SegmentStats = func(name string) *catalog.TableStats {
+			tab, ok := e.store.Table(name)
+			if !ok {
+				return nil
+			}
+			return stats.SegmentTableStats(tab)
+		}
+		if !e.opts.DisableZoneMaps {
+			// Cost model charges seq scans only the pages of segments the
+			// compiled zone predicates cannot eliminate.
+			est.ScanPages = func(scan *logical.Scan, filters []logical.Scalar) float64 {
+				tab, ok := e.store.Table(scan.Table.Name)
+				if !ok {
+					return -1
+				}
+				ords := make([]int, len(scan.Cols))
+				for i, id := range scan.Cols {
+					ords[i] = md.Column(id).BaseOrd
+				}
+				preds := exec.CompileScanZonePreds(filters, scan.Cols, ords)
+				if p := tab.PrunedPageCount(preds); p >= 0 {
+					return float64(p)
+				}
+				return -1
+			}
+		}
+	}
 	return est
 }
 
@@ -859,9 +930,12 @@ func (e *Engine) finish(q *logical.Query, plan physical.Plan, res *exec.Result, 
 			SubqueryEvals: ctx.Counters.SubqueryEvals,
 			HashOps:       ctx.Counters.HashOps,
 			Comparisons:   ctx.Counters.Comparisons,
-			Spills:        ctx.Counters.Spills,
-			SpillBytes:    ctx.Counters.SpillBytes,
-			PeakMemBytes:  ctx.Mem.Peak(),
+			Spills:         ctx.Counters.Spills,
+			SpillBytes:     ctx.Counters.SpillBytes,
+			PeakMemBytes:   ctx.Mem.Peak(),
+			SegmentsRead:   ctx.Counters.SegmentsRead,
+			SegmentsPruned: ctx.Counters.SegmentsPruned,
+			BytesRead:      ctx.Counters.BytesRead,
 		},
 	}
 	if plan != nil {
@@ -900,6 +974,15 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // Store exposes the engine's storage for tooling and experiments.
 func (e *Engine) Store() *storage.Store { return e.store }
 
+// Flush seals every disk-backed table's unsealed tail into segment files,
+// making all inserted rows durable (and prunable). A no-op for in-memory
+// engines.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.FlushAll()
+}
+
 // LoadRows bulk-inserts native Go rows into a table (fast path for
 // generators and examples).
 func (e *Engine) LoadRows(table string, rows [][]any) error {
@@ -909,6 +992,7 @@ func (e *Engine) LoadRows(table string, rows [][]any) error {
 	if !ok {
 		return fmt.Errorf("queryopt: unknown table %q", table)
 	}
+	batch := make([]datum.Row, 0, len(rows))
 	for _, r := range rows {
 		dr := make(datum.Row, len(r))
 		for i, v := range r {
@@ -918,10 +1002,13 @@ func (e *Engine) LoadRows(table string, rows [][]any) error {
 			}
 			dr[i] = d
 		}
-		if err := tab.Insert(dr); err != nil {
-			return err
-		}
-		if e.opts.IncrementalStats {
+		batch = append(batch, dr)
+	}
+	if err := tab.InsertBatch(batch); err != nil {
+		return err
+	}
+	if e.opts.IncrementalStats {
+		for _, dr := range batch {
 			e.maintainStats(tab.Def, dr)
 		}
 	}
