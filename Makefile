@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench adaptive-bench storage-bench bench-smoke
+.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench adaptive-bench storage-bench durability-bench crash-check bench-smoke
 
 build:
 	go build ./...
@@ -55,6 +55,24 @@ adaptive-bench:
 # E27 at full size.
 storage-bench:
 	go run ./cmd/benchharness storage
+
+# Crash-consistency cost sweep: checksum verification overhead on cold/warm
+# scans plus recovery and scrub time vs segment count; writes
+# BENCH_durability.json. E28 at full size.
+durability-bench:
+	go run ./cmd/benchharness durability
+
+# crash-check is the durability gate: every kill point of the crash matrix
+# (InsertBatch, Flush, SortBy killed at each injection site and occurrence,
+# including torn writes), the byte-flip corruption matrix over every region
+# class, the seal error-path contract and the transient-retry policy, plus the
+# recovered-engine equivalence corpus — all under the race detector at a fixed
+# GOMAXPROCS. CI runs this on every push.
+crash-check:
+	GOMAXPROCS=4 go test -race -count=1 \
+		-run 'TestCrashMatrix|TestCorruptionMatrix|TestCorruptSegment|TestSealFailure|TestTransientFaultRetry' \
+		./internal/storage
+	GOMAXPROCS=4 go test -race -count=1 -run 'TestRecoveredEngineEquivalence|TestEngineChecksumOptions' .
 
 # bench-smoke is the fast perf gate: a reduced-size E24 run (row-vs-vectorized
 # must still report identical results), a tiny E25 serving sweep under the

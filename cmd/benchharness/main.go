@@ -1,4 +1,4 @@
-// Command benchharness regenerates every table of the reproduction (E1–E27,
+// Command benchharness regenerates every table of the reproduction (E1–E28,
 // mapped to the paper's figures and claims in DESIGN.md). Run with no
 // arguments for everything, or pass experiment ids:
 //
@@ -21,6 +21,10 @@
 //	                                     # disk-backed columnar segments: cold/warm
 //	                                     # scans, pruned vs unpruned, selectivity
 //	                                     # sweep → BENCH_storage.json
+//	go run ./cmd/benchharness durability [rows]
+//	                                     # checksum verification overhead on
+//	                                     # cold/warm scans, recovery time vs
+//	                                     # segment count → BENCH_durability.json
 //	go run ./cmd/benchharness adaptive [queries] [rows]
 //	                                     # greedy fast path vs full DP: planning
 //	                                     # time, execution time, identical results
@@ -207,6 +211,34 @@ func adaptiveBench(queries, rows int) error {
 	return nil
 }
 
+// durabilityBench runs the crash-consistency cost sweep and writes
+// BENCH_durability.json: cold/warm full-scan wall-clock with CRC32C
+// verification on and off (warm overhead should be ~1.0x — the column cache
+// pays verification once per block), recovery and scrub time at increasing
+// segment counts, and the identical/clean flags.
+func durabilityBench(rows int) error {
+	res := experiments.RunDurabilityBench(rows, 0, 5, []int{8, 32, 128})
+	for _, w := range res.Scans {
+		fmt.Printf("scan %-10s cold=%.3fs  warm=%.3fs  rows=%d  identical=%v\n",
+			w.Arm, w.ColdWallSec, w.WarmWallSec, w.OutputRows, w.Identical)
+	}
+	fmt.Printf("checksum overhead: cold=%.3fx warm=%.3fx\n", res.ColdOverhead, res.WarmOverhead)
+	for _, r := range res.Recovery {
+		fmt.Printf("recover segs=%-4d rows=%-7d recover=%.3fs  scrub=%.3fs  clean=%v\n",
+			r.Segments, r.Rows, r.RecoverWallSec, r.ScrubWallSec, r.Clean)
+	}
+	fmt.Printf("rows=%d segment_rows=%d gomaxprocs=%d cpus=%d\n", res.Rows, res.SegmentRows, res.GOMAXPROCS, res.CPUs)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_durability.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_durability.json")
+	return nil
+}
+
 func main() {
 	start := time.Now()
 	if len(os.Args) > 1 && os.Args[1] == "adaptive" {
@@ -269,6 +301,21 @@ func main() {
 		fmt.Printf("vectorized bench completed in %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "durability" {
+		rows := 200000
+		if len(os.Args) > 2 {
+			if _, err := fmt.Sscanf(os.Args[2], "%d", &rows); err != nil {
+				fmt.Fprintf(os.Stderr, "bad row count %q: %v\n", os.Args[2], err)
+				os.Exit(1)
+			}
+		}
+		if err := durabilityBench(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("durability bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "storage" {
 		rows := 200000
 		if len(os.Args) > 2 {
@@ -312,7 +359,7 @@ func main() {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E27)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E28)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

@@ -38,7 +38,30 @@ func main() {
 	replanQError := flag.Float64("replan-qerror", 0, "re-optimize a statement after an analyzed run whose worst q-error exceeds this (0 = off; implies feedback patching)")
 	storageDir := flag.String("storage-dir", "", "persist tables as columnar segments under this directory (empty = in-memory)")
 	segmentRows := flag.Int("segment-rows", 0, "rows per sealed segment with -storage-dir (0 = default 4096)")
+	scrub := flag.Bool("scrub", false, "verify every checksum under -storage-dir and exit (0 = clean, 1 = corruption found)")
 	flag.Parse()
+
+	if *scrub {
+		if *storageDir == "" {
+			fmt.Fprintln(os.Stderr, "-scrub requires -storage-dir")
+			os.Exit(1)
+		}
+		found, err := queryopt.ScrubDir(*storageDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scrub: %v\n", err)
+			os.Exit(1)
+		}
+		for _, ce := range found {
+			fmt.Printf("corrupt: table=%s segment=%d region=%s column=%d offset=%d: %s\n",
+				ce.Table, ce.Segment, ce.Region, ce.Column, ce.Offset, ce.Detail)
+		}
+		if len(found) > 0 {
+			fmt.Printf("%d corruptions found\n", len(found))
+			os.Exit(1)
+		}
+		fmt.Println("scrub clean")
+		return
+	}
 
 	opts := queryopt.Options{
 		UseMaterializedViews: *useMV, Parallelism: *par, MemBudget: *memBudget,

@@ -97,6 +97,7 @@ func All() []Table {
 		E24Vectorized(),
 		E26AdaptivePlanning(),
 		E27Storage(),
+		E28Durability(),
 	}
 }
 

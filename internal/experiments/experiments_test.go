@@ -13,8 +13,8 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		t.Skip("experiments are slow; skipped under -short")
 	}
 	tables := All()
-	if len(tables) != 26 {
-		t.Fatalf("expected 26 experiments, got %d", len(tables))
+	if len(tables) != 27 {
+		t.Fatalf("expected 27 experiments, got %d", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
@@ -136,6 +136,15 @@ func TestHeadlineInvariants(t *testing.T) {
 	read, pruned := atof(t, first[2]), atof(t, first[3])
 	if first[1] != "pruned" || read*2 >= read+pruned {
 		t.Errorf("E27: expected the selective pruned scan to skip most segments: %v", first)
+	}
+
+	// E28: every scan arm must be bit-identical to memory and every
+	// recovery row clean.
+	e28 := E28Durability()
+	for _, r := range e28.Rows {
+		if r[len(r)-1] != "true" {
+			t.Errorf("E28: %s/%s not identical/clean: %v", r[0], r[1], r)
+		}
 	}
 
 	// E19: the last row's regret must exceed 10x.

@@ -1,15 +1,20 @@
-// Package faultfs is the fault-injection layer of the resource governor: a
-// deterministic, thread-safe injector of errors and latency into named I/O
-// operation streams (storage scan batches, spill-file create/write/read).
-// The executor consults the injector at every batch boundary and spill I/O
-// call, so tests can prove that a failure raised by any worker, at any
-// parallelism degree, propagates to the caller exactly once, promptly, and
-// without leaking goroutines.
+// Package faultfs is the fault-injection layer of the resource governor and
+// the storage crash harness: a deterministic, thread-safe injector of errors,
+// latency, torn writes and simulated crashes into named I/O operation streams
+// (storage scan batches, spill-file create/write/read, segment seal and
+// manifest-append sites). The executor consults the injector at every batch
+// boundary and spill I/O call, so tests can prove that a failure raised by
+// any worker, at any parallelism degree, propagates to the caller exactly
+// once, promptly, and without leaking goroutines. The storage layer consults
+// it at every durability-relevant syscall site (write, fsync, rename,
+// manifest append), so the crash-matrix tests can kill a write path at every
+// point and prove recovery restores an exact pre- or post-operation state.
 //
 // Rules trigger on a per-operation counter: "fail the Nth scan batch",
-// "delay every spill write by 1ms". Counters are global across workers (one
-// atomic stream per op name), so a rule fires exactly once no matter which
-// worker happens to hit the Nth operation.
+// "delay every spill write by 1ms", "tear the 3rd segment file write in
+// half". Counters are global across workers (one atomic stream per op name),
+// so a rule fires exactly once no matter which worker happens to hit the Nth
+// operation.
 package faultfs
 
 import (
@@ -22,20 +27,41 @@ import (
 // carry their own; tests match it with errors.Is.
 var ErrInjected = errors.New("faultfs: injected fault")
 
+// ErrTransient marks an injected fault as transient: retry logic (e.g. the
+// storage layer's bounded retry-with-backoff) may retry the operation, and
+// with Rule.Times set the fault clears after that many occurrences. Permanent
+// faults (any error not matching ErrTransient) must propagate without retry.
+// Match with errors.Is.
+var ErrTransient = errors.New("faultfs: transient injected fault")
+
 // Rule configures one fault: after After occurrences of Op (1-based: After=1
-// fires on the first), return Err (or ErrInjected when nil). Every, when >0,
-// re-fires the rule each Every further occurrences. Latency, when >0, is
-// slept on every occurrence of Op whether or not the rule fires.
+// fires on the first), return Err (or ErrInjected when nil). Times, when >0,
+// makes the fault fire on Times consecutive occurrences starting at After and
+// then clear — the transient-error mode, testable separately from permanent
+// failure propagation. Every, when >0, re-fires the rule each Every further
+// occurrences. Latency, when >0, is slept on every occurrence of Op whether
+// or not the rule fires.
 type Rule struct {
 	// Op names the operation stream the rule watches (e.g. "scan",
-	// "spill.write"). An empty Op matches every operation.
+	// "spill.write", "segment.fsync", "manifest.append"). An empty Op matches
+	// every operation.
 	Op string
 	// After is the 1-based occurrence count at which the rule fires.
 	After int64
+	// Times, when >0, fires the rule on occurrences After..After+Times-1 and
+	// then clears it (the fault is transient: attempt After+Times succeeds).
+	// 0 keeps the one-shot (plus Every) semantics.
+	Times int64
 	// Every re-fires the rule periodically after the first firing (0 = once).
+	// Ignored when Times > 0.
 	Every int64
 	// Err is the injected error (nil = ErrInjected).
 	Err error
+	// Partial marks the firing as a torn write: callers that support it (the
+	// segment temp-file and manifest-append writers) write roughly half the
+	// payload before failing, simulating a crash mid-write. Callers that
+	// consult Check instead of CheckPartial treat it as a plain error.
+	Partial bool
 	// Latency is injected on every matching operation.
 	Latency time.Duration
 }
@@ -76,8 +102,17 @@ func (in *Injector) Count(op string) int64 {
 // Check records one occurrence of op, applies any configured latency, and
 // returns the injected error when a rule fires. Safe for concurrent use.
 func (in *Injector) Check(op string) error {
+	_, err := in.CheckPartial(op)
+	return err
+}
+
+// CheckPartial is Check for write sites that can simulate torn writes: it
+// additionally reports whether the firing rule asks for a partial write
+// (write about half the payload, then fail with the returned error). partial
+// is never true with a nil error.
+func (in *Injector) CheckPartial(op string) (partial bool, err error) {
 	if in == nil {
-		return nil
+		return false, nil
 	}
 	in.mu.Lock()
 	if in.counts == nil {
@@ -94,22 +129,29 @@ func (in *Injector) Check(op string) error {
 		if r.Latency > sleep {
 			sleep = r.Latency
 		}
-		if r.After > 0 && fires(n, r.After, r.Every) && fired == nil {
+		if r.After > 0 && fires(n, r.After, r.Times, r.Every) && fired == nil {
 			fired = r.Err
 			if fired == nil {
 				fired = ErrInjected
 			}
+			partial = r.Partial
 		}
 	}
 	in.mu.Unlock()
 	if sleep > 0 {
 		time.Sleep(sleep)
 	}
-	return fired
+	if fired == nil {
+		return false, nil
+	}
+	return partial, fired
 }
 
-// fires reports whether occurrence n triggers a rule at (after, every).
-func fires(n, after, every int64) bool {
+// fires reports whether occurrence n triggers a rule at (after, times, every).
+func fires(n, after, times, every int64) bool {
+	if times > 0 {
+		return n >= after && n < after+times
+	}
 	if n == after {
 		return true
 	}

@@ -84,6 +84,48 @@ func TestLatencyInjection(t *testing.T) {
 	}
 }
 
+// TestTransientClearsAfterTimes: a Times=N rule fires on exactly N
+// consecutive occurrences starting at After, then clears — the transient
+// mode retry loops are tested against.
+func TestTransientClearsAfterTimes(t *testing.T) {
+	in := New(Rule{Op: "segment.fsync", After: 2, Times: 3, Err: ErrTransient})
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		if err := in.Check("segment.fsync"); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("occurrence %d: got %v, want ErrTransient", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestPartialWriteFlag: CheckPartial reports the torn-write request of a
+// Partial rule, and plain Check still surfaces the error.
+func TestPartialWriteFlag(t *testing.T) {
+	in := New(Rule{Op: "manifest.append", After: 1, Partial: true})
+	partial, err := in.CheckPartial("manifest.append")
+	if !partial || !errors.Is(err, ErrInjected) {
+		t.Fatalf("CheckPartial = (%v, %v), want (true, ErrInjected)", partial, err)
+	}
+	if partial, err := in.CheckPartial("manifest.append"); partial || err != nil {
+		t.Fatalf("after firing: (%v, %v), want (false, nil)", partial, err)
+	}
+	in2 := New(Rule{Op: "segment.writefile", After: 1, Partial: true})
+	if err := in2.Check("segment.writefile"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Check on a partial rule: got %v, want ErrInjected", err)
+	}
+}
+
 // TestConcurrentCountersFireOnce: the counter stream is global across
 // goroutines, so an After=N rule fires exactly once no matter which worker
 // hits the Nth occurrence.

@@ -496,8 +496,11 @@ func TestSegmentBytesReadAccounting(t *testing.T) {
 	}
 }
 
-// TestCorruptSegmentRejected: a truncated or magic-less file fails loudly at
-// adoption time instead of serving garbage.
+// TestCorruptSegmentRejected: a truncated segment file is soft-adopted at
+// recovery — the table opens, the report carries a typed corruption with
+// coordinates, row counts stay intact (the manifest remembers them), and
+// reading the damaged range fails with ErrSegmentCorrupt instead of serving
+// garbage while the undamaged segment still serves.
 func TestCorruptSegmentRejected(t *testing.T) {
 	dir := t.TempDir()
 	s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
@@ -508,7 +511,7 @@ func TestCorruptSegmentRejected(t *testing.T) {
 	if err := tab.InsertBatch(randWideRows(16, 31)); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "cr", "seg-000000.seg")
+	path := filepath.Join(dir, "cr", segFileName(0, 0))
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -517,8 +520,29 @@ func TestCorruptSegmentRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
-	if _, err := s2.CreateTable(wideDef("cr")); err == nil {
-		t.Fatal("adopting a truncated segment should fail")
+	tab2, err := s2.CreateTable(wideDef("cr"))
+	if err != nil {
+		t.Fatalf("soft adoption should not fail table open: %v", err)
+	}
+	reps := s2.Recovery()
+	if len(reps) != 1 || len(reps[0].Corrupt) != 1 {
+		t.Fatalf("recovery reports = %+v, want one report with one corruption", reps)
+	}
+	ce := reps[0].Corrupt[0]
+	if ce.Table != "cr" || ce.Segment != 0 {
+		t.Fatalf("corruption at table %q segment %d, want cr/0", ce.Table, ce.Segment)
+	}
+	if !errors.Is(ce, ErrSegmentCorrupt) {
+		t.Fatalf("corruption %v does not match ErrSegmentCorrupt", ce)
+	}
+	if got := tab2.RowCount(); got != 16 {
+		t.Fatalf("RowCount = %d, want 16 (row-id space preserved)", got)
+	}
+	if _, err := tab2.RowsRange(nil, 0, 8); !errors.Is(err, ErrSegmentCorrupt) {
+		t.Fatalf("reading the damaged segment: got %v, want ErrSegmentCorrupt", err)
+	}
+	if rows, err := tab2.RowsRange(nil, 8, 16); err != nil || len(rows) != 8 {
+		t.Fatalf("undamaged segment should still serve: rows=%d err=%v", len(rows), err)
 	}
 }
 

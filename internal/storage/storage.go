@@ -10,12 +10,15 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/datum"
@@ -120,12 +123,12 @@ func (t *Table) InsertBatch(rows []datum.Row) error {
 	if len(t.indexes) > 0 {
 		t.indexes = make(map[string]*IndexData) // invalidate
 	}
-	if t.seg != nil {
-		for len(t.rows) >= t.seg.segRows {
-			if err := t.sealLocked(t.seg.segRows); err != nil {
-				return err
-			}
+	if t.seg != nil && len(t.rows) >= t.seg.segRows {
+		sizes := make([]int, len(t.rows)/t.seg.segRows)
+		for i := range sizes {
+			sizes[i] = t.seg.segRows
 		}
+		return t.sealChunksLocked(sizes)
 	}
 	return nil
 }
@@ -139,47 +142,127 @@ func (t *Table) Flush() error {
 	if t.seg == nil || len(t.rows) == 0 {
 		return nil
 	}
-	return t.sealLocked(len(t.rows))
+	return t.sealChunksLocked([]int{len(t.rows)})
 }
 
-// sealLocked writes the first n tail rows as a segment file. Caller holds
-// t.mu.
-func (t *Table) sealLocked(n int) error {
-	chunk := t.rows[:n]
+// pendingSeg is one encoded-but-not-yet-adopted segment.
+type pendingSeg struct {
+	sm    segMeta
+	raw   []byte
+	entry manEntry
+}
+
+// faults returns the owning store's write-path injector (nil-safe).
+func (t *Table) faults() *faultfs.Injector {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.cfg.Faults
+}
+
+// retryIO applies the store's transient-fault retry policy (nil-safe).
+func (t *Table) retryIO(f func() error) error {
+	if t.store == nil {
+		return f()
+	}
+	return t.store.retryIO(f)
+}
+
+// encodeChunk encodes rows as one pending segment with the given id and
+// start row. Pure computation plus the historical "segment.create"/
+// "segment.write" encode fault streams; touches no table state.
+func (t *Table) encodeChunk(rows []datum.Row, gen, id, startRow int) (pendingSeg, error) {
 	vecs := make([]*datum.Vec, len(t.Def.Cols))
 	for ci, col := range t.Def.Cols {
-		v := datum.NewVec(col.Kind, n)
-		v.AppendRowsCol(chunk, ci)
+		v := datum.NewVec(col.Kind, len(rows))
+		v.AppendRowsCol(rows, ci)
 		vecs[ci] = v
 	}
-	var faults *faultfs.Injector
-	if t.store != nil {
-		faults = t.store.cfg.Faults
-	}
-	raw, metas, err := encodeSegment(vecs, faults)
+	raw, metas, err := encodeSegment(vecs, t.faults())
 	if err != nil {
+		return pendingSeg{}, err
+	}
+	crc := crc32.Checksum(raw, crcTable)
+	sm := segMeta{id: id, startRow: startRow, rows: len(rows), bytes: int64(len(raw)), fileCRC: crc, cols: metas}
+	entry := manEntry{file: segFileName(gen, id), id: id, rows: len(rows), bytes: sm.bytes, crc: crc}
+	return pendingSeg{sm: sm, raw: raw, entry: entry}, nil
+}
+
+// publishLocked runs the durability protocol for a batch of pending
+// segments: each file is written to a temp sibling, fsynced and renamed;
+// the directory is fsynced once; then one manifest record (built by rec from
+// the entries) adopts them all. Any error leaves the table state untouched —
+// unpublished files are recovery's quarantine fodder. Transient faults are
+// retried per step. Caller holds t.mu.
+func (t *Table) publishLocked(pend []pendingSeg, rec func([]manEntry) string) error {
+	faults := t.faults()
+	entries := make([]manEntry, len(pend))
+	for i, p := range pend {
+		entries[i] = p.entry
+		path := filepath.Join(t.seg.dir, p.entry.file)
+		raw := p.raw
+		if err := t.retryIO(func() error { return writeSegmentFile(path, raw, faults) }); err != nil {
+			return err
+		}
+	}
+	if err := t.retryIO(func() error { return syncDir(t.seg.dir, faults) }); err != nil {
 		return err
 	}
-	id := t.seg.nextID
-	if err := os.WriteFile(t.segPath(id), raw, 0o644); err != nil {
+	return t.retryIO(func() error { return appendManifest(t.seg.dir, rec(entries), faults) })
+}
+
+// sealChunksLocked seals consecutive chunks from the front of the tail —
+// sizes[i] rows each — as one atomically-adopted batch: all files are
+// prepared and published under a single manifest record, and only then is
+// the in-memory state mutated. A failure anywhere leaves both the disk state
+// (a manifest generation) and the in-memory tail (every buffered row still
+// buffered, counted once) exactly as before the call, so a later Flush
+// simply retries. Caller holds t.mu.
+func (t *Table) sealChunksLocked(sizes []int) error {
+	pend := make([]pendingSeg, len(sizes))
+	off := 0
+	for i, n := range sizes {
+		p, err := t.encodeChunk(t.rows[off:off+n], t.seg.gen, t.seg.nextID+i, t.seg.sealedRows+off)
+		if err != nil {
+			return err
+		}
+		pend[i] = p
+		off += n
+	}
+	if err := t.publishLocked(pend, func(entries []manEntry) string {
+		parts := make([]string, 1, len(entries)+1)
+		parts[0] = "add"
+		for _, e := range entries {
+			parts = append(parts, e.String())
+		}
+		return strings.Join(parts, " ")
+	}); err != nil {
 		return err
 	}
-	sm := segMeta{id: id, startRow: t.seg.sealedRows, rows: n, bytes: int64(len(raw)), cols: metas}
-	t.seg.segs = append(t.seg.segs, sm)
-	t.seg.nextID = id + 1
-	t.seg.sealedRows += n
-	t.seg.diskBytes += sm.bytes
+	// Commit point passed: adopt in memory.
+	for _, p := range pend {
+		t.seg.segs = append(t.seg.segs, p.sm)
+		t.seg.nextID = p.sm.id + 1
+		t.seg.sealedRows += p.sm.rows
+		t.seg.diskBytes += p.sm.bytes
+	}
 	var w int
-	for _, r := range chunk {
+	for _, r := range t.rows[:off] {
 		w += r.Size()
 	}
 	t.bytes -= w
-	t.rows = append(t.rows[:0], t.rows[n:]...)
+	t.rows = append(t.rows[:0], t.rows[off:]...)
 	return nil
 }
 
+// segFileName names a segment file by generation and id; zero-padded so
+// lexicographic order matches adoption order within a generation.
+func segFileName(gen, id int) string {
+	return fmt.Sprintf("seg-%06d-%06d.seg", gen, id)
+}
+
 func (t *Table) segPath(id int) string {
-	return filepath.Join(t.seg.dir, fmt.Sprintf("seg-%06d.seg", id))
+	return filepath.Join(t.seg.dir, segFileName(t.seg.gen, id))
 }
 
 // cache returns the owning store's decoded-column cache (nil-safe).
@@ -191,14 +274,26 @@ func (t *Table) cache() *colCache {
 }
 
 // readColumnLocked returns the decoded column ord of segment si, serving from
-// the cache when possible. Caller holds t.mu (read or write).
+// the cache when possible. Cache misses read, CRC-verify and decode the block
+// (so hot reads pay the checksum once), retrying transient faults. Segments
+// soft-adopted as corrupt at recovery fail immediately with their typed
+// error. Caller holds t.mu (read or write).
 func (t *Table) readColumnLocked(sc *ScanCtx, si, ord int) (*datum.Vec, error) {
 	sm := &t.seg.segs[si]
+	if sm.corrupt != nil {
+		return nil, sm.corrupt
+	}
 	key := colKey{tab: t, gen: t.seg.gen, seg: sm.id, ord: ord}
 	if v := t.cache().get(key); v != nil {
 		return v, nil
 	}
-	v, err := readColumnBlock(sc, t.segPath(sm.id), sm, ord)
+	verify := t.store == nil || !t.store.cfg.DisableChecksums
+	var v *datum.Vec
+	err := t.retryIO(func() error {
+		var rerr error
+		v, rerr = readColumnBlock(sc, t.segPath(sm.id), sm, ord, t.Def.Name, sm.id, verify)
+		return rerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -441,29 +536,59 @@ func (t *Table) SortBy(spec []datum.SortSpec) error {
 }
 
 // rewriteLocked replaces all sealed segments and the tail with the given
-// rows. Caller holds t.mu.
+// rows: the new generation's files are fully written and published by one
+// manifest "switch" record before any in-memory state changes, so a failure
+// anywhere leaves the old generation serving untouched (new-gen orphans are
+// quarantined at the next recovery). After the switch commits, the old
+// generation's files are deleted best-effort — the manifest no longer
+// references them, so a crash mid-delete only leaves quarantine fodder.
+// Caller holds t.mu.
 func (t *Table) rewriteLocked(all []datum.Row) error {
-	oldCount := t.seg.nextID
-	t.cache().dropTable(t)
-	t.seg.gen++
-	t.seg.segs = t.seg.segs[:0]
-	t.seg.nextID = 0
-	t.seg.sealedRows = 0
-	t.seg.diskBytes = 0
-	t.rows = all
-	t.bytes = 0
-	for _, r := range all {
-		t.bytes += r.Size()
-	}
-	for len(t.rows) >= t.seg.segRows {
-		if err := t.sealLocked(t.seg.segRows); err != nil {
+	newGen := t.seg.gen + 1
+	nseal := len(all) / t.seg.segRows
+	pend := make([]pendingSeg, nseal)
+	off := 0
+	for i := 0; i < nseal; i++ {
+		p, err := t.encodeChunk(all[off:off+t.seg.segRows], newGen, i, off)
+		if err != nil {
 			return err
 		}
+		pend[i] = p
+		off += t.seg.segRows
 	}
-	// Remove files the rewrite did not overwrite (a previous Flush can leave
-	// more, shorter segments than the resealing produces).
-	for id := t.seg.nextID; id < oldCount; id++ {
-		os.Remove(t.segPath(id))
+	if err := t.publishLocked(pend, func(entries []manEntry) string {
+		parts := make([]string, 2, len(entries)+2)
+		parts[0], parts[1] = "switch", fmt.Sprintf("%d", newGen)
+		for _, e := range entries {
+			parts = append(parts, e.String())
+		}
+		return strings.Join(parts, " ")
+	}); err != nil {
+		return err
+	}
+	// Commit point passed: swap in the new generation.
+	oldFiles := make([]string, 0, len(t.seg.segs))
+	for _, sm := range t.seg.segs {
+		oldFiles = append(oldFiles, t.segPath(sm.id))
+	}
+	t.cache().dropTable(t)
+	t.seg.gen = newGen
+	t.seg.segs = t.seg.segs[:0]
+	t.seg.sealedRows = 0
+	t.seg.diskBytes = 0
+	for _, p := range pend {
+		t.seg.segs = append(t.seg.segs, p.sm)
+		t.seg.sealedRows += p.sm.rows
+		t.seg.diskBytes += p.sm.bytes
+	}
+	t.seg.nextID = nseal
+	t.rows = all[off:]
+	t.bytes = 0
+	for _, r := range t.rows {
+		t.bytes += r.Size()
+	}
+	for _, f := range oldFiles {
+		os.Remove(f)
 	}
 	return nil
 }
@@ -729,17 +854,47 @@ type StoreConfig struct {
 	// (defaultCacheBytes when zero).
 	CacheBytes int64
 	// Faults, when non-nil, injects errors into the segment write path
-	// ("segment.create"/"segment.write" operation streams). The read path
-	// takes its injector per-scan via ScanCtx instead.
+	// (the "segment.create"/"segment.write" encode streams plus the
+	// durability sites "segment.writefile", "segment.fsync",
+	// "segment.rename", "dir.fsync", "manifest.append", "manifest.fsync").
+	// The read path takes its injector per-scan via ScanCtx instead.
 	Faults *faultfs.Injector
+	// IORetries is how many times a transient I/O fault (one matching
+	// faultfs.ErrTransient) is retried before propagating. 0 disables
+	// retries; permanent faults always propagate immediately.
+	IORetries int
+	// IORetryBackoff is the sleep before the first retry, doubling each
+	// further attempt.
+	IORetryBackoff time.Duration
+	// DisableChecksums skips CRC verification on block decode — the
+	// benchmark A/B arm for measuring checksum overhead, and an escape
+	// hatch for salvage reads. Writes still record checksums.
+	DisableChecksums bool
 }
 
 // Store maps table names to stored tables.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	cfg    StoreConfig
-	cache  *colCache
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	cfg      StoreConfig
+	cache    *colCache
+	recovery []*RecoveryReport
+}
+
+// retryIO runs f, retrying transient faults (faultfs.ErrTransient) up to
+// cfg.IORetries times with exponential backoff. Permanent errors propagate
+// on first occurrence.
+func (s *Store) retryIO(f func() error) error {
+	backoff := s.cfg.IORetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := f()
+		if err == nil || !errors.Is(err, faultfs.ErrTransient) || attempt >= s.cfg.IORetries {
+			return err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff << attempt)
+		}
+	}
 }
 
 // NewStore returns an empty in-memory store.
@@ -763,10 +918,13 @@ func NewStoreWith(cfg StoreConfig) *Store {
 // DiskBacked reports whether tables seal rows into segment files.
 func (s *Store) DiskBacked() bool { return s.cfg.Dir != "" }
 
-// CreateTable allocates storage for a catalog table. In disk mode, segment
-// files already present in the table's directory (from a previous process)
-// are adopted, so restarting an engine over the same StorageDir sees its
-// sealed rows again.
+// CreateTable allocates storage for a catalog table. In disk mode, the
+// table's directory is *recovered*, not merely listed: the manifest is
+// replayed (truncating any torn tail), listed segments are verified and
+// adopted — corrupt ones softly, preserving the row-id space — and files
+// the manifest never published are quarantined into lost/. Restarting an
+// engine over the same StorageDir therefore sees exactly the state of the
+// last committed operation. The findings land in Store.Recovery().
 func (s *Store) CreateTable(def *catalog.Table) (*Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -782,51 +940,14 @@ func (s *Store) CreateTable(def *catalog.Table) (*Table, error) {
 			return nil, fmt.Errorf("storage: creating table directory: %w", err)
 		}
 		t.seg = &segTable{dir: dir, segRows: s.cfg.SegmentRows}
-		if err := t.loadSegments(); err != nil {
+		rep, err := t.recoverLocked()
+		if err != nil {
 			return nil, err
 		}
+		s.recovery = append(s.recovery, rep)
 	}
 	s.tables[k] = t
 	return t, nil
-}
-
-// loadSegments adopts segment files present in the table directory.
-func (t *Table) loadSegments() error {
-	entries, err := os.ReadDir(t.seg.dir)
-	if err != nil {
-		return err
-	}
-	var names []string
-	for _, e := range entries {
-		name := e.Name()
-		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names) // zero-padded ids: lexicographic == numeric
-	for _, name := range names {
-		var id int
-		if _, err := fmt.Sscanf(name, "seg-%06d.seg", &id); err != nil {
-			return fmt.Errorf("storage: unexpected segment file name %q", name)
-		}
-		sm, err := readSegmentFooter(filepath.Join(t.seg.dir, name))
-		if err != nil {
-			return err
-		}
-		if len(sm.cols) != len(t.Def.Cols) {
-			return fmt.Errorf("storage: segment %s has %d columns, table %s has %d",
-				name, len(sm.cols), t.Def.Name, len(t.Def.Cols))
-		}
-		sm.id = id
-		sm.startRow = t.seg.sealedRows
-		t.seg.segs = append(t.seg.segs, sm)
-		t.seg.sealedRows += sm.rows
-		t.seg.diskBytes += sm.bytes
-		if id >= t.seg.nextID {
-			t.seg.nextID = id + 1
-		}
-	}
-	return nil
 }
 
 // FlushAll seals every table's unsealed tail (no-op for in-memory stores).

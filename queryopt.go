@@ -182,6 +182,19 @@ type Options struct {
 	// costing in disk-backed mode: every segment is read and filtered. The
 	// control arm of the storage benchmarks.
 	DisableZoneMaps bool
+	// IORetries is how many times a transient storage fault (one matching
+	// faultfs.ErrTransient) is retried before the error propagates to the
+	// query. 0 (the default) disables retries; permanent faults are never
+	// retried.
+	IORetries int
+	// IORetryBackoff is the sleep before the first transient-fault retry,
+	// doubling on each further attempt.
+	IORetryBackoff time.Duration
+	// DisableChecksums skips CRC32C verification when segment column blocks
+	// are decoded. Writes still record checksums; this is the benchmark
+	// control arm for measuring verification overhead and an escape hatch
+	// for salvaging data from a damaged directory.
+	DisableChecksums bool
 }
 
 // VectorizeMode selects between the columnar batch path and pure row
@@ -292,9 +305,12 @@ func New(opts Options) *Engine {
 		opts: opts,
 		cat:  catalog.New(),
 		store: storage.NewStoreWith(storage.StoreConfig{
-			Dir:         opts.StorageDir,
-			SegmentRows: opts.SegmentRows,
-			CacheBytes:  opts.SegmentCacheBytes,
+			Dir:              opts.StorageDir,
+			SegmentRows:      opts.SegmentRows,
+			CacheBytes:       opts.SegmentCacheBytes,
+			IORetries:        opts.IORetries,
+			IORetryBackoff:   opts.IORetryBackoff,
+			DisableChecksums: opts.DisableChecksums,
 		}),
 		feedback: physical.NewFeedbackRing(opts.FeedbackCapacity),
 		replan:   make(map[string]struct{}),
@@ -981,6 +997,45 @@ func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.store.FlushAll()
+}
+
+// Corruption is one detected on-disk corruption with coordinates (table,
+// segment, region, column). Every Corruption matches ErrSegmentCorrupt under
+// errors.Is.
+type Corruption = storage.CorruptError
+
+// RecoveryReport describes what opening one disk-backed table found:
+// quarantined orphan files, a truncated manifest tail, soft-adopted corrupt
+// segments.
+type RecoveryReport = storage.RecoveryReport
+
+// ErrSegmentCorrupt is the errors.Is target for detected segment corruption
+// anywhere in the engine: block decodes, recovery reports, scrub findings.
+var ErrSegmentCorrupt = storage.ErrSegmentCorrupt
+
+// Scrub walks every sealed segment of every disk-backed table, verifying the
+// footer and every column block checksum, and returns one entry per
+// corruption found. Empty means the on-disk state is fully intact. In-memory
+// engines scrub to nothing.
+func (e *Engine) Scrub() []*Corruption {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Scrub()
+}
+
+// ScrubDir verifies a storage directory without opening an engine or knowing
+// the schema: every table subdirectory's manifest is replayed and each
+// listed segment fully checked. The offline form behind `qopt -scrub`.
+func ScrubDir(dir string) ([]*Corruption, error) {
+	return storage.ScrubDir(dir)
+}
+
+// RecoveryReports returns what CREATE TABLE found when (re)opening each
+// disk-backed table directory under StorageDir, in creation order.
+func (e *Engine) RecoveryReports() []*RecoveryReport {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.Recovery()
 }
 
 // LoadRows bulk-inserts native Go rows into a table (fast path for
