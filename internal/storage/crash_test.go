@@ -170,6 +170,90 @@ func TestCrashMatrixSortBy(t *testing.T) {
 	runCrashMatrix(t, setup, op)
 }
 
+// TestCrashMatrixSortByShortSegment kills the rewrite of a table whose
+// durable state includes a Flushed short segment — rows the switch record
+// must not orphan. Recovery must land on exactly the old state (8-row plus
+// 5-row segments) or the new one (the same 13 rows re-sealed sorted).
+func TestCrashMatrixSortByShortSegment(t *testing.T) {
+	setup := func(tab *Table) error {
+		if err := tab.InsertBatch(randWideRows(8, 21)); err != nil {
+			return err
+		}
+		if err := tab.InsertBatch(randWideRows(5, 22)); err != nil {
+			return err
+		}
+		return tab.Flush()
+	}
+	op := func(tab *Table) error { return tab.SortBy([]datum.SortSpec{{Col: 0}}) }
+	runCrashMatrix(t, setup, op)
+}
+
+// TestSortByPreservesFlushedRows is the regression test for SortBy's
+// durability contract: rows made durable by Flush must still be durable after
+// SortBy plus a reopen. The old rewrite sealed only full segRows chunks and
+// moved the remainder back to the volatile tail while deleting the old
+// generation's files, so 20 flushed rows reopened as 16.
+func TestSortByPreservesFlushedRows(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
+	tab, err := s.CreateTable(wideDef("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertBatch(randWideRows(20, 23)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SortBy([]datum.SortSpec{{Col: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
+	tab2, err := s2.CreateTable(wideDef("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab2.RowCount(); got != 20 {
+		t.Fatalf("reopened after SortBy: RowCount = %d, want 20", got)
+	}
+	got, err := tab2.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+}
+
+// TestReplayDiscardsRecordAtomically: a CRC-valid record with a malformed
+// later entry must be discarded whole — replay must not fold its earlier,
+// well-formed entries into the adopted state while truncating the record
+// itself away as tail damage.
+func TestReplayDiscardsRecordAtomically(t *testing.T) {
+	dir := t.TempDir()
+	good := manEntry{file: "seg-000000-000000.seg", id: 0, rows: 8, bytes: 128, crc: 0xdeadbeef}
+	rec1 := frameRecord("add " + good.String())
+	bad := manEntry{file: "seg-000000-000001.seg", id: 1, rows: 8, bytes: 128, crc: 0xfeedface}
+	rec2 := frameRecord("add " + bad.String() + " not-an-entry")
+	path := filepath.Join(dir, manifestName)
+	if err := os.WriteFile(path, []byte(rec1+rec2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, truncated, err := replayManifest(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated != int64(len(rec2)) {
+		t.Fatalf("truncated %d bytes, want %d (the whole rejected record)", truncated, len(rec2))
+	}
+	if len(ms.entries) != 1 || ms.entries[0] != good {
+		t.Fatalf("replay adopted %v, want only the first record's entry", ms.entries)
+	}
+}
+
 // TestSealFailureLeavesTailConsistent is the regression test for the
 // InsertBatch/Flush error-path contract: a failed seal must leave every
 // buffered row in the in-memory tail exactly once, so a later Flush (after
@@ -255,5 +339,44 @@ func TestTransientFaultRetry(t *testing.T) {
 	}
 	if n := perm.Count("segment.read"); n != 1 {
 		t.Fatalf("permanent fault was attempted %d times, want 1", n)
+	}
+
+	// Manifest sites: a transient failure may leave the record (fsync failed
+	// after a full write) or half of it (torn append) on disk. The retried
+	// append must truncate that residue away first — otherwise replay adopts
+	// the record twice and the table reopens with every row doubled, or trips
+	// over torn bytes in the manifest interior and fails to open at all.
+	for _, tc := range []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"manifest.append", faultfs.Rule{Op: "manifest.append", After: 1, Times: 2, Err: faultfs.ErrTransient}},
+		{"manifest.append torn", faultfs.Rule{Op: "manifest.append", After: 1, Times: 2, Err: faultfs.ErrTransient, Partial: true}},
+		{"manifest.fsync", faultfs.Rule{Op: "manifest.fsync", After: 1, Times: 2, Err: faultfs.ErrTransient}},
+	} {
+		dir := t.TempDir()
+		s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8, Faults: faultfs.New(tc.rule),
+			IORetries: 3, IORetryBackoff: time.Microsecond})
+		tab, err := s.CreateTable(wideDef("t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := randWideRows(8, 13)
+		if err := tab.InsertBatch(rows); err != nil {
+			t.Fatalf("%s: insert with retries: %v", tc.name, err)
+		}
+		s2 := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 8})
+		tab2, err := s2.CreateTable(wideDef("t"))
+		if err != nil {
+			t.Fatalf("%s: reopen after retried append: %v", tc.name, err)
+		}
+		if got := tab2.RowCount(); got != 8 {
+			t.Fatalf("%s: reopened RowCount = %d, want 8 (record adopted more than once?)", tc.name, got)
+		}
+		got, err := tab2.Rows(nil)
+		if err != nil {
+			t.Fatalf("%s: reading reopened rows: %v", tc.name, err)
+		}
+		sameRows(t, got, rows)
 	}
 }

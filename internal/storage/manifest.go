@@ -116,7 +116,23 @@ func parseRecord(line string) (string, error) {
 	return body[len(manMagic)+1:], nil
 }
 
-// applyRecord folds one payload into the replay state.
+// parseManEntries parses a record's entry fields, all or nothing.
+func parseManEntries(fields []string) ([]manEntry, error) {
+	out := make([]manEntry, 0, len(fields))
+	for _, f := range fields {
+		e, err := parseManEntry(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// applyRecord folds one payload into the replay state. The whole record is
+// parsed before any state changes, so a record rejected partway (a CRC-valid
+// line with a malformed later entry) leaves ms untouched — replay must never
+// adopt entries from a record it then discards as damaged.
 func (ms *manifestState) applyRecord(payload string) error {
 	fields := strings.Fields(payload)
 	if len(fields) == 0 {
@@ -127,13 +143,11 @@ func (ms *manifestState) applyRecord(payload string) error {
 		if len(fields) < 2 {
 			return fmt.Errorf("add record with no entries")
 		}
-		for _, f := range fields[1:] {
-			e, err := parseManEntry(f)
-			if err != nil {
-				return err
-			}
-			ms.entries = append(ms.entries, e)
+		ents, err := parseManEntries(fields[1:])
+		if err != nil {
+			return err
 		}
+		ms.entries = append(ms.entries, ents...)
 	case "switch":
 		if len(fields) < 2 {
 			return fmt.Errorf("switch record with no generation")
@@ -142,15 +156,12 @@ func (ms *manifestState) applyRecord(payload string) error {
 		if err != nil {
 			return fmt.Errorf("switch record: bad generation: %v", err)
 		}
-		ms.gen = gen
-		ms.entries = ms.entries[:0]
-		for _, f := range fields[2:] {
-			e, err := parseManEntry(f)
-			if err != nil {
-				return err
-			}
-			ms.entries = append(ms.entries, e)
+		ents, err := parseManEntries(fields[2:])
+		if err != nil {
+			return err
 		}
+		ms.gen = gen
+		ms.entries = append(ms.entries[:0], ents...)
 	default:
 		return fmt.Errorf("unknown record verb %q", fields[0])
 	}
@@ -217,26 +228,50 @@ func replayManifest(path string, repair bool) (ms manifestState, truncated int64
 	return ms, truncated, nil
 }
 
-// appendManifest durably appends one record: O_APPEND write, then fsync.
-// Fault streams: "manifest.append" (torn-write capable — a partial firing
-// writes roughly half the line, simulating a crash mid-append) and
-// "manifest.fsync".
-func appendManifest(dir, payload string, faults *faultfs.Injector) error {
+// manifestSize returns the current size of the manifest file — the base
+// offset the next record is appended at. A missing file is an empty manifest.
+func manifestSize(dir string) (int64, error) {
+	fi, err := os.Stat(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// appendManifest durably appends one record at the given base offset: the
+// file is truncated back to base, the line written there, then fsynced. The
+// truncate makes a retried append idempotent — a failed earlier attempt may
+// have left the record (whole, after a failed fsync) or half of it (a torn
+// write) on disk, and re-appending without the truncate would adopt the
+// record twice on replay or strand torn bytes in the manifest interior. A
+// crash (no retry runs) still leaves at most a torn tail, which replay
+// truncates. Callers serialize appends per table (t.mu), so base is stable
+// across the retry loop. Fault streams: "manifest.append" (torn-write capable
+// — a partial firing writes roughly half the line, simulating a crash
+// mid-append) and "manifest.fsync".
+func appendManifest(dir, payload string, base int64, faults *faultfs.Injector) error {
 	line := frameRecord(payload)
 	partial, ferr := faults.CheckPartial("manifest.append")
-	f, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
+		return err
+	}
+	if err := f.Truncate(base); err != nil {
+		f.Close()
 		return err
 	}
 	if ferr != nil {
 		if partial {
-			f.WriteString(line[:len(line)/2])
+			f.WriteAt([]byte(line[:len(line)/2]), base)
 			f.Sync()
 		}
 		f.Close()
 		return ferr
 	}
-	if _, err := f.WriteString(line); err != nil {
+	if _, err := f.WriteAt([]byte(line), base); err != nil {
 		f.Close()
 		return err
 	}

@@ -208,7 +208,16 @@ func (t *Table) publishLocked(pend []pendingSeg, rec func([]manEntry) string) er
 	if err := t.retryIO(func() error { return syncDir(t.seg.dir, faults) }); err != nil {
 		return err
 	}
-	return t.retryIO(func() error { return appendManifest(t.seg.dir, rec(entries), faults) })
+	// The base offset is captured once, outside the retry loop: each attempt
+	// truncates back to it before writing, so a transient failure after the
+	// bytes hit the file cannot leave the record behind to be appended twice
+	// (replay would adopt every segment twice) or strand torn bytes in the
+	// manifest interior.
+	base, err := manifestSize(t.seg.dir)
+	if err != nil {
+		return err
+	}
+	return t.retryIO(func() error { return appendManifest(t.seg.dir, rec(entries), base, faults) })
 }
 
 // sealChunksLocked seals consecutive chunks from the front of the tail —
@@ -510,8 +519,10 @@ func (t *Table) FillColumnIDs(sc *ScanCtx, ord int, ids []int, v *datum.Vec) err
 }
 
 // SortBy physically reorders the heap by the given sort spec — used to
-// realize a clustered index. Disk-backed tables are rewritten: every sealed
-// segment is re-sealed from the sorted rows under a new cache generation.
+// realize a clustered index. Disk-backed tables are rewritten: all rows
+// (sealed and tail) are re-sealed from the sorted order under a new cache
+// generation, so SortBy also implies a Flush — the tail is empty afterwards
+// and no previously durable row loses durability.
 func (t *Table) SortBy(spec []datum.SortSpec) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -539,22 +550,25 @@ func (t *Table) SortBy(spec []datum.SortSpec) error {
 // rows: the new generation's files are fully written and published by one
 // manifest "switch" record before any in-memory state changes, so a failure
 // anywhere leaves the old generation serving untouched (new-gen orphans are
-// quarantined at the next recovery). After the switch commits, the old
-// generation's files are deleted best-effort — the manifest no longer
-// references them, so a crash mid-delete only leaves quarantine fodder.
-// Caller holds t.mu.
+// quarantined at the next recovery). Every row is sealed — full segments plus
+// a final short one for any remainder — because the switch record deletes the
+// old generation, and rows that were durable before the rewrite (a previously
+// Flushed short segment, now shuffled anywhere in the sorted order) must stay
+// durable after it. After the switch commits, the old generation's files are
+// deleted best-effort — the manifest no longer references them, so a crash
+// mid-delete only leaves quarantine fodder. Caller holds t.mu.
 func (t *Table) rewriteLocked(all []datum.Row) error {
 	newGen := t.seg.gen + 1
-	nseal := len(all) / t.seg.segRows
-	pend := make([]pendingSeg, nseal)
+	pend := make([]pendingSeg, 0, len(all)/t.seg.segRows+1)
 	off := 0
-	for i := 0; i < nseal; i++ {
-		p, err := t.encodeChunk(all[off:off+t.seg.segRows], newGen, i, off)
+	for off < len(all) {
+		n := min(t.seg.segRows, len(all)-off)
+		p, err := t.encodeChunk(all[off:off+n], newGen, len(pend), off)
 		if err != nil {
 			return err
 		}
-		pend[i] = p
-		off += t.seg.segRows
+		pend = append(pend, p)
+		off += n
 	}
 	if err := t.publishLocked(pend, func(entries []manEntry) string {
 		parts := make([]string, 2, len(entries)+2)
@@ -581,12 +595,9 @@ func (t *Table) rewriteLocked(all []datum.Row) error {
 		t.seg.sealedRows += p.sm.rows
 		t.seg.diskBytes += p.sm.bytes
 	}
-	t.seg.nextID = nseal
-	t.rows = all[off:]
+	t.seg.nextID = len(pend)
+	t.rows = t.rows[:0]
 	t.bytes = 0
-	for _, r := range t.rows {
-		t.bytes += r.Size()
-	}
 	for _, f := range oldFiles {
 		os.Remove(f)
 	}
