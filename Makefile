@@ -1,4 +1,4 @@
-.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench adaptive-bench storage-bench durability-bench crash-check bench-smoke
+.PHONY: build test check bench harness parallel-bench analyze-bench robustness-bench robustness-check vectorized-bench serving-bench adaptive-bench storage-bench durability-bench compression-bench crash-check bench-smoke
 
 build:
 	go build ./...
@@ -62,6 +62,12 @@ storage-bench:
 durability-bench:
 	go run ./cmd/benchharness durability
 
+# Compressed columnar sweep: dictionary/RLE encoded segments vs the
+# DisableCompression control — scan+filter throughput, bytes read and block
+# counts at parallelism 1/4/8; writes BENCH_compression.json. E29 at full size.
+compression-bench:
+	go run ./cmd/benchharness compression
+
 # crash-check is the durability gate: every kill point of the crash matrix
 # (InsertBatch, Flush, SortBy killed at each injection site and occurrence,
 # including torn writes), the byte-flip corruption matrix over every region
@@ -79,14 +85,16 @@ crash-check:
 # race detector (all three modes must still report identical results), a
 # reduced E26 adaptive sweep under the race detector (greedy and DP arms must
 # still report identical results), a reduced E27 storage sweep under the race
-# detector (disk reads must be bit-identical to memory), and the executor
-# suite under -race. CI runs this on every push; it finishes in well under a
+# detector (disk reads must be bit-identical to memory), a reduced E29
+# compression sweep under the race detector (encoded blocks must decode to
+# bit-identical results), and the executor suite under -race. CI runs this on every push; it finishes in well under a
 # minute.
 bench-smoke:
 	go run ./cmd/benchharness vectorized 20000
 	GOMAXPROCS=4 go run -race ./cmd/benchharness serving 1000 8
 	GOMAXPROCS=4 go run -race ./cmd/benchharness adaptive 40 2000
 	GOMAXPROCS=4 go run -race ./cmd/benchharness storage 30000
+	GOMAXPROCS=4 go run -race ./cmd/benchharness compression 30000
 	go test -race -count=1 ./internal/exec/...
 
 # Fault-injection, cancellation, spill and goroutine-leak suites under the

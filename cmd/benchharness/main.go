@@ -1,4 +1,4 @@
-// Command benchharness regenerates every table of the reproduction (E1–E28,
+// Command benchharness regenerates every table of the reproduction (E1–E29,
 // mapped to the paper's figures and claims in DESIGN.md). Run with no
 // arguments for everything, or pass experiment ids:
 //
@@ -25,6 +25,11 @@
 //	                                     # checksum verification overhead on
 //	                                     # cold/warm scans, recovery time vs
 //	                                     # segment count → BENCH_durability.json
+//	go run ./cmd/benchharness compression [rows]
+//	                                     # dictionary/RLE encoded segments vs
+//	                                     # plain: scan+filter throughput, bytes
+//	                                     # read, block counts
+//	                                     # → BENCH_compression.json
 //	go run ./cmd/benchharness adaptive [queries] [rows]
 //	                                     # greedy fast path vs full DP: planning
 //	                                     # time, execution time, identical results
@@ -160,6 +165,33 @@ func storageBench(rows int) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_storage.json")
+	return nil
+}
+
+// compressionBench runs the compressed-columnar sweep and writes
+// BENCH_compression.json: cold/warm scan+filter wall-clock on dictionary +
+// run-length encoded segments versus the DisableCompression control at
+// parallelism 1/4/8, per-encoding block counts and cold bytes read, the
+// serial bytes-reduction and warm-throughput speedup headline ratios, and the
+// bit-identical flag against the in-memory heap.
+func compressionBench(rows int) error {
+	res := experiments.RunCompressionBench(rows, 0, 3)
+	for _, w := range res.Workloads {
+		fmt.Printf("par=%d %-12s cold=%.3fs  warm=%.3fs  mem=%.3fs  bytes=%d  blocks=%d/%d/%d (dict/rle/plain)  rows/s=%.0f  identical=%v\n",
+			w.Parallelism, w.Arm, w.ColdWallSec, w.WarmWallSec, w.MemWallSec,
+			w.ColdBytesRead, w.BlocksDict, w.BlocksRLE, w.BlocksPlain,
+			w.WarmRowsPerSec, w.Identical)
+	}
+	fmt.Printf("rows=%d segment_rows=%d gomaxprocs=%d cpus=%d  bytes_reduction=%.2fx  speedup=%.2fx (serial, warm)\n",
+		res.Rows, res.SegmentRows, res.GOMAXPROCS, res.CPUs, res.BytesReduction, res.Speedup)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_compression.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_compression.json")
 	return nil
 }
 
@@ -316,6 +348,21 @@ func main() {
 		fmt.Printf("durability bench completed in %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "compression" {
+		rows := 200000
+		if len(os.Args) > 2 {
+			if _, err := fmt.Sscanf(os.Args[2], "%d", &rows); err != nil {
+				fmt.Fprintf(os.Stderr, "bad row count %q: %v\n", os.Args[2], err)
+				os.Exit(1)
+			}
+		}
+		if err := compressionBench(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("compression bench completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "storage" {
 		rows := 200000
 		if len(os.Args) > 2 {
@@ -359,7 +406,7 @@ func main() {
 		for _, id := range os.Args[1:] {
 			t, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E28)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E29)\n", id)
 				os.Exit(1)
 			}
 			fmt.Println(t.Format())

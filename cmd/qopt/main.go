@@ -38,6 +38,7 @@ func main() {
 	replanQError := flag.Float64("replan-qerror", 0, "re-optimize a statement after an analyzed run whose worst q-error exceeds this (0 = off; implies feedback patching)")
 	storageDir := flag.String("storage-dir", "", "persist tables as columnar segments under this directory (empty = in-memory)")
 	segmentRows := flag.Int("segment-rows", 0, "rows per sealed segment with -storage-dir (0 = default 4096)")
+	compression := flag.String("compression", "on", "dictionary/run-length encoding when sealing segments: on | off")
 	scrub := flag.Bool("scrub", false, "verify every checksum under -storage-dir and exit (0 = clean, 1 = corruption found)")
 	flag.Parse()
 
@@ -73,6 +74,14 @@ func main() {
 	}
 	if !*vectorize {
 		opts.Vectorize = queryopt.VectorizeOff
+	}
+	switch strings.ToLower(*compression) {
+	case "on", "":
+	case "off":
+		opts.DisableCompression = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -compression %q (want on or off)\n", *compression)
+		os.Exit(1)
 	}
 	switch strings.ToLower(*planCache) {
 	case "on", "":

@@ -5,6 +5,44 @@
 // directly from heap rows.
 package datum
 
+import "sort"
+
+// StrDict is a sorted string dictionary shared by dictionary-encoded vectors.
+// Vals is sorted ascending and free of duplicates, so a code comparison
+// orders the same way as the string comparison it stands for, and a constant
+// translates to code space with one binary search. Dictionaries are immutable
+// after construction and compared by pointer: two vectors with the same Dict
+// pointer speak the same code space.
+type StrDict struct {
+	Vals []string
+}
+
+// Code returns the code of s and whether s is present in the dictionary.
+func (d *StrDict) Code(s string) (int64, bool) {
+	i := sort.SearchStrings(d.Vals, s)
+	if i < len(d.Vals) && d.Vals[i] == s {
+		return int64(i), true
+	}
+	return 0, false
+}
+
+// CodeFloor returns the number of dictionary entries < s — the first code
+// whose value is >= s. Range predicates on encoded columns translate their
+// constant bound to this code interval once and then compare codes.
+func (d *StrDict) CodeFloor(s string) int64 {
+	return int64(sort.SearchStrings(d.Vals, s))
+}
+
+// Bytes returns the modeled heap size of the dictionary payload: string
+// bytes plus a header per entry, matching the accounting D.Size uses.
+func (d *StrDict) Bytes() int64 {
+	total := int64(0)
+	for _, s := range d.Vals {
+		total += int64(16 + len(s))
+	}
+	return total
+}
+
 // Bitmap is a packed NULL bitmap: bit i set means row i is NULL.
 type Bitmap []uint64
 
@@ -41,6 +79,12 @@ func (b *Bitmap) Set(i int) {
 //
 // NULL rows are tracked in the bitmap; the payload slot of a NULL row holds
 // the zero value and must not be read.
+//
+// A KindString vector may additionally be dictionary-encoded: Dict is
+// non-nil, per-row codes live in Ints (indices into Dict.Vals, 0 for NULL
+// rows) and Strs is unused. Kernels that understand the encoding operate on
+// the codes directly; everything else sees correct values through D, which
+// decodes transparently.
 type Vec struct {
 	kind Kind
 	n    int
@@ -52,6 +96,10 @@ type Vec struct {
 	Floats []float64
 	Strs   []string
 	Ds     []D
+
+	// Dict marks the dictionary-encoded string representation; codes are in
+	// Ints. Nil for every other representation.
+	Dict *StrDict
 
 	nulls    Bitmap
 	numNulls int
@@ -82,6 +130,31 @@ func NewTypedVec(k Kind, n int, ints []int64, floats []float64, strs []string, n
 // NewBoxedVec wraps datums in a boxed vector without copying.
 func NewBoxedVec(ds []D) *Vec {
 	return &Vec{anyKind: true, n: len(ds), Ds: ds}
+}
+
+// NewDictVec assembles a dictionary-encoded string vector from its parts —
+// the decode path of dictionary column blocks. codes index dict.Vals; NULL
+// rows must hold code 0 and be marked in nulls.
+func NewDictVec(n int, codes []int64, dict *StrDict, nulls Bitmap, numNulls int) *Vec {
+	return &Vec{kind: KindString, n: n, Ints: codes, Dict: dict, nulls: nulls, numNulls: numNulls}
+}
+
+// materializeDict decodes a dictionary-encoded vector to the plain string
+// representation in place. Only caller-owned vectors may be materialized;
+// shared (cached) vectors are always the src side of an append.
+func (v *Vec) materializeDict() {
+	if v.Dict == nil {
+		return
+	}
+	strs := make([]string, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.numNulls == 0 || !v.nulls.Get(i) {
+			strs[i] = v.Dict.Vals[v.Ints[i]]
+		}
+	}
+	v.Strs = strs
+	v.Ints = v.Ints[:0]
+	v.Dict = nil
 }
 
 func (v *Vec) grow(capacity int) {
@@ -143,6 +216,7 @@ func (v *Vec) Nulls() Bitmap {
 func (v *Vec) Reset(k Kind) {
 	v.kind = k
 	v.anyKind = false
+	v.Dict = nil
 	v.n = 0
 	v.numNulls = 0
 	v.Ints = v.Ints[:0]
@@ -163,6 +237,11 @@ func (v *Vec) AppendNull() {
 	}
 	v.nulls.Set(v.n)
 	v.numNulls++
+	if v.Dict != nil {
+		v.Ints = append(v.Ints, 0)
+		v.n++
+		return
+	}
 	switch v.kind {
 	case KindInt, KindBool:
 		v.Ints = append(v.Ints, 0)
@@ -186,6 +265,18 @@ func (v *Vec) AppendD(d D) {
 	if d.k == KindNull {
 		v.AppendNull()
 		return
+	}
+	if v.Dict != nil {
+		if d.k == KindString {
+			if code, ok := v.Dict.Code(d.s); ok {
+				v.Ints = append(v.Ints, code)
+				v.n++
+				return
+			}
+		}
+		// Value outside the dictionary (or a stray kind): decode in place
+		// and take the plain path below.
+		v.materializeDict()
 	}
 	if d.k != v.kind {
 		if v.kind == KindNull && v.n == v.numNulls {
@@ -233,6 +324,7 @@ func (v *Vec) upgradeAny() {
 	v.anyKind = true
 	v.Ds = ds
 	v.Ints, v.Floats, v.Strs = nil, nil, nil
+	v.Dict = nil
 }
 
 // D reconstructs row i as a datum.
@@ -242,6 +334,9 @@ func (v *Vec) D(i int) D {
 	}
 	if v.kind == KindNull || (v.numNulls > 0 && v.nulls.Get(i)) {
 		return Null
+	}
+	if v.Dict != nil {
+		return D{k: KindString, s: v.Dict.Vals[v.Ints[i]]}
 	}
 	switch v.kind {
 	case KindInt:
@@ -256,8 +351,32 @@ func (v *Vec) D(i int) D {
 	return Null
 }
 
-// AppendVec appends row i of src (any representation) to v.
-func (v *Vec) AppendVec(src *Vec, i int) { v.AppendD(src.D(i)) }
+// canAdoptDict reports whether v may take on src's dictionary: v must be an
+// empty plain string vector (or already share the dictionary), so adopting
+// changes no existing row.
+func (v *Vec) canAdoptDict(dict *StrDict) bool {
+	if v.Dict == dict {
+		return true
+	}
+	return v.Dict == nil && !v.anyKind && v.kind == KindString && v.n == 0
+}
+
+// AppendVec appends row i of src (any representation) to v. Rows gathered
+// from a dictionary-encoded source stay encoded when v shares (or can adopt)
+// the source dictionary.
+func (v *Vec) AppendVec(src *Vec, i int) {
+	if src.Dict != nil && v.canAdoptDict(src.Dict) {
+		v.Dict = src.Dict
+		if src.numNulls > 0 && src.nulls.Get(i) {
+			v.nulls.Set(v.n)
+			v.numNulls++
+		}
+		v.Ints = append(v.Ints, src.Ints[i])
+		v.n++
+		return
+	}
+	v.AppendD(src.D(i))
+}
 
 // AppendRange appends rows [lo, hi) of src to v. When both vectors share the
 // same typed representation the payload is bulk-copied with one append and
@@ -266,6 +385,33 @@ func (v *Vec) AppendVec(src *Vec, i int) { v.AppendD(src.D(i)) }
 func (v *Vec) AppendRange(src *Vec, lo, hi int) {
 	if hi <= lo {
 		return
+	}
+	if v.Dict != nil || src.Dict != nil {
+		if src.Dict != nil && v.canAdoptDict(src.Dict) {
+			// Same (or adoptable) code space: bulk-copy the codes and walk
+			// only the NULL bits — the scan stays encoded across segments.
+			v.Dict = src.Dict
+			v.Ints = append(v.Ints, src.Ints[lo:hi]...)
+			if src.numNulls > 0 {
+				for i := lo; i < hi; i++ {
+					if src.nulls.Get(i) {
+						v.nulls.Set(v.n + i - lo)
+						v.numNulls++
+					}
+				}
+			}
+			v.n += hi - lo
+			return
+		}
+		if v.Dict != nil {
+			v.materializeDict()
+		}
+		if src.Dict != nil {
+			for i := lo; i < hi; i++ {
+				v.AppendD(src.D(i))
+			}
+			return
+		}
 	}
 	if v.anyKind || src.anyKind || v.kind != src.kind || v.kind == KindNull {
 		for i := lo; i < hi; i++ {
@@ -298,6 +444,9 @@ func (v *Vec) AppendRange(src *Vec, lo, hi int) {
 // stray kind (numeric coercion allows them) falls back to AppendD for the
 // remainder of the slice.
 func (v *Vec) AppendRowsCol(rows []Row, ord int) {
+	if v.Dict != nil {
+		v.materializeDict()
+	}
 	if v.anyKind {
 		for _, r := range rows {
 			v.Ds = append(v.Ds, r[ord])

@@ -36,6 +36,12 @@ type Counters struct {
 	SegmentsRead   int64
 	SegmentsPruned int64
 	BytesRead      int64
+
+	// Column-block decodes by representation (cold reads only, like
+	// BytesRead): dictionary, run-length, and plain typed/boxed blocks.
+	BlocksDict  int64
+	BlocksRLE   int64
+	BlocksPlain int64
 }
 
 // Ctx is the runtime context shared by all operators of one execution.
@@ -161,6 +167,24 @@ func (c *Ctx) noteReadBytes(n int64) {
 	}
 }
 
+// noteScan folds one storage call's ScanCtx observations — bytes read from
+// disk and column blocks decoded, by representation — into the counters and
+// the analyzed node.
+func (c *Ctx) noteScan(sc *storage.ScanCtx) {
+	c.noteReadBytes(sc.BytesRead)
+	if sc.BlocksDict == 0 && sc.BlocksRLE == 0 && sc.BlocksPlain == 0 {
+		return
+	}
+	c.Counters.BlocksDict += sc.BlocksDict
+	c.Counters.BlocksRLE += sc.BlocksRLE
+	c.Counters.BlocksPlain += sc.BlocksPlain
+	if c.curNode != nil {
+		c.curNode.BlocksDict += sc.BlocksDict
+		c.curNode.BlocksRLE += sc.BlocksRLE
+		c.curNode.BlocksPlain += sc.BlocksPlain
+	}
+}
+
 // The storage read API takes a per-call ScanCtx carrying the fault injector
 // and returning real bytes read; these wrappers thread both ends so
 // operators keep one-line call sites.
@@ -168,42 +192,42 @@ func (c *Ctx) noteReadBytes(n int64) {
 func (c *Ctx) tableRows(tab *storage.Table) ([]datum.Row, error) {
 	sc := storage.ScanCtx{Faults: c.Faults}
 	rows, err := tab.Rows(&sc)
-	c.noteReadBytes(sc.BytesRead)
+	c.noteScan(&sc)
 	return rows, err
 }
 
 func (c *Ctx) rowsRange(tab *storage.Table, lo, hi int) ([]datum.Row, error) {
 	sc := storage.ScanCtx{Faults: c.Faults}
 	rows, err := tab.RowsRange(&sc, lo, hi)
-	c.noteReadBytes(sc.BytesRead)
+	c.noteScan(&sc)
 	return rows, err
 }
 
 func (c *Ctx) rowAt(tab *storage.Table, id int) (datum.Row, error) {
 	sc := storage.ScanCtx{Faults: c.Faults}
 	r, err := tab.Row(&sc, id)
-	c.noteReadBytes(sc.BytesRead)
+	c.noteScan(&sc)
 	return r, err
 }
 
 func (c *Ctx) colValue(tab *storage.Table, id, ord int) (datum.D, error) {
 	sc := storage.ScanCtx{Faults: c.Faults}
 	d, err := tab.ColValue(&sc, id, ord)
-	c.noteReadBytes(sc.BytesRead)
+	c.noteScan(&sc)
 	return d, err
 }
 
 func (c *Ctx) fillRange(tab *storage.Table, ord, lo, hi int, v *datum.Vec) error {
 	sc := storage.ScanCtx{Faults: c.Faults}
 	err := tab.FillColumnRange(&sc, ord, lo, hi, v)
-	c.noteReadBytes(sc.BytesRead)
+	c.noteScan(&sc)
 	return err
 }
 
 func (c *Ctx) fillIDs(tab *storage.Table, ord int, ids []int, v *datum.Vec) error {
 	sc := storage.ScanCtx{Faults: c.Faults}
 	err := tab.FillColumnIDs(&sc, ord, ids, v)
-	c.noteReadBytes(sc.BytesRead)
+	c.noteScan(&sc)
 	return err
 }
 
@@ -283,6 +307,9 @@ func (cs *Counters) add(o Counters) {
 	cs.SegmentsRead += o.SegmentsRead
 	cs.SegmentsPruned += o.SegmentsPruned
 	cs.BytesRead += o.BytesRead
+	cs.BlocksDict += o.BlocksDict
+	cs.BlocksRLE += o.BlocksRLE
+	cs.BlocksPlain += o.BlocksPlain
 }
 
 // PageBuffer is a FIFO page cache keyed by (table, page number).

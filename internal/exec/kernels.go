@@ -215,6 +215,9 @@ func selColConst(v *datum.Vec, op logical.CmpOp, c datum.D, sel, out []int32) []
 	case datum.KindFloat:
 		return selOrd(v.Floats, nulls, op, c.Float(), sel, out)
 	case datum.KindString:
+		if v.Dict != nil {
+			return selDictConst(v, op, c.Str(), sel, out)
+		}
 		return selOrd(v.Strs, nulls, op, c.Str(), sel, out)
 	case datum.KindBool:
 		var ci int64
@@ -222,6 +225,57 @@ func selColConst(v *datum.Vec, op logical.CmpOp, c datum.D, sel, out []int32) []
 			ci = 1
 		}
 		return selOrd(v.Ints, nulls, op, ci, sel, out)
+	}
+	return out
+}
+
+// selDictConst compares a dictionary-encoded string column against a string
+// constant without decoding a single row: the constant translates to code
+// space once (a binary search over the sorted dictionary), and because the
+// dictionary is sorted, every comparison operator becomes the corresponding
+// integer comparison over the codes. Constants absent from the dictionary
+// collapse equality to no match — the typical case when a filter's value
+// never occurs in a segment — and inequality bounds round to the adjacent
+// code interval.
+func selDictConst(v *datum.Vec, op logical.CmpOp, c string, sel, out []int32) []int32 {
+	nulls := v.Nulls()
+	dict := v.Dict
+	code, found := dict.Code(c)
+	switch op {
+	case logical.CmpEq:
+		if !found {
+			return out
+		}
+		return selOrd(v.Ints, nulls, logical.CmpEq, code, sel, out)
+	case logical.CmpNe:
+		if !found {
+			// Every non-NULL value differs from an absent constant.
+			for _, i := range sel {
+				if !nulls.Get(int(i)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		return selOrd(v.Ints, nulls, logical.CmpNe, code, sel, out)
+	case logical.CmpLt:
+		// value < c  ⇔  code < |{entries < c}|.
+		return selOrd(v.Ints, nulls, logical.CmpLt, dict.CodeFloor(c), sel, out)
+	case logical.CmpGe:
+		return selOrd(v.Ints, nulls, logical.CmpGe, dict.CodeFloor(c), sel, out)
+	case logical.CmpLe:
+		// value <= c ⇔ code < |{entries <= c}|.
+		bound := dict.CodeFloor(c)
+		if found {
+			bound++
+		}
+		return selOrd(v.Ints, nulls, logical.CmpLt, bound, sel, out)
+	case logical.CmpGt:
+		bound := dict.CodeFloor(c)
+		if found {
+			bound++
+		}
+		return selOrd(v.Ints, nulls, logical.CmpGe, bound, sel, out)
 	}
 	return out
 }
@@ -250,6 +304,22 @@ func selColCol(a, b *datum.Vec, op logical.CmpOp, sel, out []int32) []int32 {
 				if !a.Null(int(i)) && !b.Null(int(i)) {
 					out = append(out, i)
 				}
+			}
+		}
+		return out
+	}
+	if a.Dict != nil || b.Dict != nil {
+		if a.Dict != nil && a.Dict == b.Dict {
+			// Same code space: the sorted dictionary makes code order string
+			// order, so the whole comparison runs on integers.
+			return selOrd2(a.Ints, b.Ints, a.Nulls(), b.Nulls(), op, sel, out)
+		}
+		for _, i := range sel {
+			if a.Null(int(i)) || b.Null(int(i)) {
+				continue
+			}
+			if cmpMatches(op, datum.Compare(a.D(int(i)), b.D(int(i)))) {
+				out = append(out, i)
 			}
 		}
 		return out
@@ -436,6 +506,26 @@ func hashCombineVec(v *datum.Vec, sel []int32, h []uint64) {
 			h[k] = fnvMix(fnvMix(h[k], 2), math.Float64bits(v.Floats[i]))
 		}
 	case datum.KindString:
+		if v.Dict != nil {
+			// Hash through the dictionary: the codes stay encoded, the hashed
+			// bytes are the looked-up string with the usual family tag, so a
+			// dict-encoded build side meets a plain probe side (or a different
+			// dictionary) on equal hashes.
+			vals := v.Dict.Vals
+			for k, i := range sel {
+				if nulls.Get(int(i)) {
+					h[k] = fnvMix(h[k], 0)
+					continue
+				}
+				x := fnvMix(h[k], 3)
+				s := vals[v.Ints[i]]
+				for j := 0; j < len(s); j++ {
+					x = fnvMix(x, uint64(s[j]))
+				}
+				h[k] = x
+			}
+			return
+		}
 		for k, i := range sel {
 			if nulls.Get(int(i)) {
 				h[k] = fnvMix(h[k], 0)
@@ -798,6 +888,27 @@ func (a *minmaxStrVecAcc) ensure(n int) {
 
 func (a *minmaxStrVecAcc) accumulate(v *datum.Vec, sel []int32, gids []int32) {
 	nulls := v.Nulls()
+	if v.Dict != nil {
+		// Dictionary-encoded batches read candidates through the dictionary;
+		// the per-group best stays a string, so batches carrying different
+		// dictionaries still fold into one answer.
+		vals := v.Dict.Vals
+		for k, i := range sel {
+			if nulls.Get(int(i)) {
+				continue
+			}
+			g := gids[k]
+			x := vals[v.Ints[i]]
+			if !a.any[g] {
+				a.any[g], a.vals[g] = true, x
+				continue
+			}
+			if (a.min && x < a.vals[g]) || (!a.min && x > a.vals[g]) {
+				a.vals[g] = x
+			}
+		}
+		return
+	}
 	for k, i := range sel {
 		if nulls.Get(int(i)) {
 			continue

@@ -202,10 +202,16 @@ func (c *Ctx) runWorkers(n int, fn func(w int, wc *Ctx) error) error {
 		if c.curNode != nil && wc.Counters.RowsProcessed > 0 {
 			c.curNode.AddWorkerRows(w, wc.Counters.RowsProcessed)
 		}
-		// Workers have no curNode, so their segment-file bytes only reached
-		// their private counters; credit the analyzed node here.
+		// Workers have no curNode, so their segment-file bytes and block
+		// decodes only reached their private counters; credit the analyzed
+		// node here.
 		if c.curNode != nil && wc.Counters.BytesRead > 0 {
 			c.curNode.BytesRead += wc.Counters.BytesRead
+		}
+		if c.curNode != nil {
+			c.curNode.BlocksDict += wc.Counters.BlocksDict
+			c.curNode.BlocksRLE += wc.Counters.BlocksRLE
+			c.curNode.BlocksPlain += wc.Counters.BlocksPlain
 		}
 	}
 	return firstError(errs)

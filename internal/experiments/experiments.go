@@ -98,6 +98,7 @@ func All() []Table {
 		E26AdaptivePlanning(),
 		E27Storage(),
 		E28Durability(),
+		E29Compression(),
 	}
 }
 

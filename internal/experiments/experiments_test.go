@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,8 +14,8 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		t.Skip("experiments are slow; skipped under -short")
 	}
 	tables := All()
-	if len(tables) != 27 {
-		t.Fatalf("expected 27 experiments, got %d", len(tables))
+	if len(tables) != 28 {
+		t.Fatalf("expected 28 experiments, got %d", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
@@ -144,6 +145,30 @@ func TestHeadlineInvariants(t *testing.T) {
 	for _, r := range e28.Rows {
 		if r[len(r)-1] != "true" {
 			t.Errorf("E28: %s/%s not identical/clean: %v", r[0], r[1], r)
+		}
+	}
+
+	// E29: every arm must be bit-identical to memory, and the compressed
+	// arm must decode dictionary and run-length blocks where the
+	// uncompressed control decodes only plain ones.
+	e29 := E29Compression()
+	for _, r := range e29.Rows {
+		if r[len(r)-1] != "true" {
+			t.Errorf("E29: par %s/%s not bit-identical to memory: %v", r[0], r[1], r)
+		}
+		var nd, nr, np int
+		if _, err := fmt.Sscanf(r[6], "%d/%d/%d", &nd, &nr, &np); err != nil {
+			t.Fatalf("E29: bad block column %q: %v", r[6], err)
+		}
+		switch r[1] {
+		case "compressed":
+			if nd == 0 || nr == 0 {
+				t.Errorf("E29: compressed arm decoded no encoded blocks: %v", r)
+			}
+		case "uncompressed":
+			if nd != 0 || nr != 0 || np == 0 {
+				t.Errorf("E29: uncompressed arm saw encoded blocks: %v", r)
+			}
 		}
 	}
 

@@ -52,6 +52,12 @@ type NodeMetrics struct {
 	// BytesRead is real segment-file bytes read from disk (cache misses
 	// only — a warm scan reads zero).
 	BytesRead int64
+	// BlocksDict / BlocksRLE / BlocksPlain count column blocks the node
+	// decoded from disk by representation: dictionary-encoded, run-length
+	// encoded, and plain typed/boxed. Cache hits add nothing, like BytesRead.
+	BlocksDict  int64
+	BlocksRLE   int64
+	BlocksPlain int64
 }
 
 // NoteMem records a buffered-rows observation, keeping the peak.
@@ -184,6 +190,10 @@ func formatAnalyzeNode(sb *strings.Builder, p Plan, md *logical.Metadata, rm *Ru
 		}
 		if m.BytesRead > 0 {
 			fmt.Fprintf(sb, " bytes_read=%d", m.BytesRead)
+		}
+		if m.BlocksDict > 0 || m.BlocksRLE > 0 || m.BlocksPlain > 0 {
+			fmt.Fprintf(sb, " blocks_dict=%d blocks_rle=%d blocks_plain=%d",
+				m.BlocksDict, m.BlocksRLE, m.BlocksPlain)
 		}
 		if len(m.WorkerRows) > 0 {
 			parts := make([]string, len(m.WorkerRows))

@@ -224,10 +224,36 @@ func (e *Estimator) scanStats(t *logical.Scan) *RelStats {
 			}
 		}
 	}
+	// Segment-footer stats back-fill columns ANALYZE did not cover: the
+	// footer's distinct sketch gives a real NDV where the fallback would
+	// otherwise assume every row is distinct (wildly over-selective for
+	// equality on low-cardinality columns). Fetched lazily, once per scan.
+	var segTS *catalog.TableStats
+	segFetched := false
+	segStats := func(ord int) *catalog.ColumnStats {
+		if !segFetched {
+			segFetched = true
+			if e.SegmentStats != nil && t.Table != nil {
+				segTS = e.SegmentStats(t.Table.Name)
+			}
+		}
+		if segTS == nil {
+			return nil
+		}
+		return segTS.ColStats[ord]
+	}
 	for _, id := range t.Cols {
 		ord := e.Meta.Column(id).BaseOrd
 		cs, ok := ts.ColStats[ord]
 		if !ok {
+			if sc := segStats(ord); sc != nil {
+				nullFrac := 0.0
+				if ts.RowCount > 0 {
+					nullFrac = sc.NullCount / ts.RowCount
+				}
+				out.Cols[id] = &ColStat{Distinct: math.Max(1, sc.DistinctCount), NullFrac: nullFrac}
+				continue
+			}
 			out.Cols[id] = &ColStat{Distinct: math.Max(1, ts.RowCount)}
 			continue
 		}

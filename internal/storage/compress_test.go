@@ -1,0 +1,313 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+)
+
+// sealedReprs seals rows into exactly one segment and returns the per-column
+// block representations from the decoded footer, plus the table for reads.
+func sealedReprs(t *testing.T, def *catalog.Table, rows []datum.Row, cfg StoreConfig) (*Table, []byte) {
+	t.Helper()
+	if cfg.SegmentRows == 0 {
+		cfg.SegmentRows = len(rows)
+	}
+	s := NewStoreWith(cfg)
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tab, segReprs(t, cfg.Dir, def.Name, 0, 0)
+}
+
+// segReprs reads one sealed segment file and returns each column's repr byte.
+func segReprs(t *testing.T, dir, table string, gen, id int) []byte {
+	t.Helper()
+	path := filepath.Join(dir, table, segFileName(gen, id))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := decodeFooter(raw, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reprs := make([]byte, len(sm.cols))
+	for i := range sm.cols {
+		reprs[i] = sm.cols[i].repr
+	}
+	return reprs
+}
+
+// roundTrip reads every row back and compares datum-by-datum with bit-exact
+// semantics (Compare distinguishes nothing a query could; IsNull + Compare
+// suffice because inserts were canonical values).
+func roundTrip(t *testing.T, tab *Table, want []datum.Row) {
+	t.Helper()
+	got, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			a, b := want[i][j], got[i][j]
+			if a.IsNull() != b.IsNull() || (!a.IsNull() && datum.Compare(a, b) != 0) {
+				t.Fatalf("row %d col %d: got %v, want %v", i, j, b, a)
+			}
+		}
+	}
+}
+
+func oneStrCol(name string) *catalog.Table {
+	return &catalog.Table{Name: name, Cols: []catalog.Column{{Name: "s", Kind: datum.KindString}}}
+}
+
+// TestEncodingEdgeCases pins the seal-time encoding decision and its
+// round-trip on the format's corner shapes.
+func TestEncodingEdgeCases(t *testing.T) {
+	strRow := func(s string) datum.Row { return datum.Row{datum.NewString(s)} }
+
+	t.Run("all-null-long", func(t *testing.T) {
+		// 128 NULLs form one run: run-length wins even on a string column.
+		rows := make([]datum.Row, 128)
+		for i := range rows {
+			rows[i] = datum.Row{datum.Null}
+		}
+		tab, reprs := sealedReprs(t, oneStrCol("an"), rows, StoreConfig{Dir: t.TempDir()})
+		if reprs[0] != reprRLE {
+			t.Fatalf("repr = %d, want RLE", reprs[0])
+		}
+		roundTrip(t, tab, rows)
+	})
+
+	t.Run("all-null-short", func(t *testing.T) {
+		// 32 rows is below the RLE floor and has no non-NULL values to build
+		// a dictionary from: plain encoding is the only sound choice.
+		rows := make([]datum.Row, 32)
+		for i := range rows {
+			rows[i] = datum.Row{datum.Null}
+		}
+		tab, reprs := sealedReprs(t, oneStrCol("ans"), rows, StoreConfig{Dir: t.TempDir()})
+		if reprs[0] != reprTyped {
+			t.Fatalf("repr = %d, want plain typed", reprs[0])
+		}
+		roundTrip(t, tab, rows)
+	})
+
+	t.Run("empty-strings", func(t *testing.T) {
+		// "" is a legal dictionary entry and must stay distinct from NULL.
+		rows := make([]datum.Row, 120)
+		for i := range rows {
+			switch i % 3 {
+			case 0:
+				rows[i] = strRow("")
+			case 1:
+				rows[i] = strRow("nonempty")
+			default:
+				rows[i] = datum.Row{datum.Null}
+			}
+		}
+		tab, reprs := sealedReprs(t, oneStrCol("es"), rows, StoreConfig{Dir: t.TempDir()})
+		if reprs[0] != reprDict {
+			t.Fatalf("repr = %d, want dict", reprs[0])
+		}
+		roundTrip(t, tab, rows)
+	})
+
+	t.Run("single-value-long", func(t *testing.T) {
+		// One value repeated 128 times is one run: RLE beats a 1-entry dict.
+		rows := make([]datum.Row, 128)
+		for i := range rows {
+			rows[i] = strRow("only")
+		}
+		tab, reprs := sealedReprs(t, oneStrCol("sv"), rows, StoreConfig{Dir: t.TempDir()})
+		if reprs[0] != reprRLE {
+			t.Fatalf("repr = %d, want RLE", reprs[0])
+		}
+		roundTrip(t, tab, rows)
+	})
+
+	t.Run("single-value-alternating-null", func(t *testing.T) {
+		// NULL interleaving breaks the runs; a 1-entry dictionary carries the
+		// value and the NULL bitmap carries the rest.
+		rows := make([]datum.Row, 128)
+		for i := range rows {
+			if i%2 == 0 {
+				rows[i] = strRow("only")
+			} else {
+				rows[i] = datum.Row{datum.Null}
+			}
+		}
+		tab, reprs := sealedReprs(t, oneStrCol("svn"), rows, StoreConfig{Dir: t.TempDir()})
+		if reprs[0] != reprDict {
+			t.Fatalf("repr = %d, want dict", reprs[0])
+		}
+		roundTrip(t, tab, rows)
+	})
+
+	// The dictionary threshold is an exact distinct count: 256 encodes, 257
+	// does not. Values rotate every row so RLE never competes.
+	for _, tc := range []struct {
+		ndv  int
+		want byte
+	}{{256, reprDict}, {257, reprTyped}} {
+		t.Run(fmt.Sprintf("ndv-%d", tc.ndv), func(t *testing.T) {
+			rows := make([]datum.Row, 1024)
+			for i := range rows {
+				rows[i] = strRow(fmt.Sprintf("value-%03d", i%tc.ndv))
+			}
+			tab, reprs := sealedReprs(t, oneStrCol("nd"), rows, StoreConfig{Dir: t.TempDir()})
+			if reprs[0] != tc.want {
+				t.Fatalf("ndv %d: repr = %d, want %d", tc.ndv, reprs[0], tc.want)
+			}
+			roundTrip(t, tab, rows)
+		})
+	}
+
+	t.Run("disable-compression", func(t *testing.T) {
+		rows := make([]datum.Row, 128)
+		for i := range rows {
+			rows[i] = strRow("only")
+		}
+		tab, reprs := sealedReprs(t, oneStrCol("dc"), rows,
+			StoreConfig{Dir: t.TempDir(), DisableCompression: true})
+		if reprs[0] != reprTyped {
+			t.Fatalf("repr = %d, want plain typed under DisableCompression", reprs[0])
+		}
+		roundTrip(t, tab, rows)
+	})
+}
+
+// TestRLEAfterSortBy: a shuffled low-cardinality column seals as dictionary
+// or plain blocks, but after SortBy physically reorders the heap the rewrite
+// re-runs the encoder and the now-constant runs seal as RLE.
+func TestRLEAfterSortBy(t *testing.T) {
+	dir := t.TempDir()
+	def := &catalog.Table{Name: "sb", Cols: []catalog.Column{
+		{Name: "k", Kind: datum.KindInt},
+		{Name: "s", Kind: datum.KindString},
+	}}
+	s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 256})
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]datum.Row, 256)
+	for i := range rows {
+		// 4 values scattered by a stride co-prime with the row count: runs of
+		// length 1, so the unsorted seal cannot pick RLE.
+		v := int64(i*37%4) + 10
+		rows[i] = datum.Row{datum.NewInt(v), datum.NewString(fmt.Sprintf("city-%d", v))}
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	before := segReprs(t, dir, "sb", 0, 0)
+	if before[0] == reprRLE || before[1] == reprRLE {
+		t.Fatalf("unsorted seal picked RLE: %v", before)
+	}
+	if err := tab.SortBy([]datum.SortSpec{{Col: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	after := segReprs(t, dir, "sb", 1, 0)
+	if after[0] != reprRLE || after[1] != reprRLE {
+		t.Fatalf("sorted seal reprs = %v, want RLE for both columns", after)
+	}
+	sorted, err := tab.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sorted); i++ {
+		if datum.Compare(sorted[i-1][0], sorted[i][0]) > 0 {
+			t.Fatalf("rows not sorted at %d: %v > %v", i, sorted[i-1][0], sorted[i][0])
+		}
+	}
+}
+
+// TestCacheChargesStringPayload: the LRU charge for a cached string column
+// follows the actual payload. A column of 400-byte strings must charge far
+// more than the same row count of 1-byte strings — under the old flat
+// 8-bytes-per-row model both charged the same and big string columns blew
+// through the budget unaccounted.
+func TestCacheChargesStringPayload(t *testing.T) {
+	charge := func(width int) int64 {
+		dir := t.TempDir()
+		s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 256, DisableCompression: true})
+		tab, err := s.CreateTable(oneStrCol("cw"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]datum.Row, 256)
+		for i := range rows {
+			// Distinct per row so dictionary encoding could never dedupe it.
+			rows[i] = datum.Row{datum.NewString(strings.Repeat("x", width-1) + string(rune('a'+i%26)))}
+		}
+		if err := tab.InsertBatch(rows); err != nil {
+			t.Fatal(err)
+		}
+		v := datum.NewVec(datum.KindString, 256)
+		if err := tab.FillColumnRange(nil, 0, 0, 256, v); err != nil {
+			t.Fatal(err)
+		}
+		c := tab.cache()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.size
+	}
+	narrow := charge(1)
+	wide := charge(400)
+	if narrow <= 0 || wide <= 0 {
+		t.Fatalf("no cache charge recorded: narrow=%d wide=%d", narrow, wide)
+	}
+	// 400x the payload must charge at least 10x — flat per-row charges fail.
+	if wide < 10*narrow {
+		t.Fatalf("cache charge does not scale with payload: narrow=%d wide=%d", narrow, wide)
+	}
+}
+
+// TestDictCacheCharge: a dictionary-encoded cached column charges codes plus
+// one copy of the dictionary, not the materialized strings — the whole point
+// of caching the encoded form.
+func TestDictCacheCharge(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 1024})
+	tab, err := s.CreateTable(oneStrCol("dcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("metropolitan-", 10)
+	rows := make([]datum.Row, 1024)
+	for i := range rows {
+		rows[i] = datum.Row{datum.NewString(fmt.Sprintf("%s%d", long, i%3))}
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if reprs := segReprs(t, dir, "dcc", 0, 0); reprs[0] != reprDict {
+		t.Fatalf("repr = %d, want dict", reprs[0])
+	}
+	v := datum.NewVec(datum.KindString, 1024)
+	if err := tab.FillColumnRange(nil, 0, 0, 1024, v); err != nil {
+		t.Fatal(err)
+	}
+	c := tab.cache()
+	c.mu.Lock()
+	size := c.size
+	c.mu.Unlock()
+	materialized := int64(1024 * (16 + len(long) + 1))
+	if size >= materialized/4 {
+		t.Fatalf("dict column charged %d bytes, want well under materialized %d", size, materialized)
+	}
+}

@@ -110,7 +110,9 @@ func TestCorruptionMatrix(t *testing.T) {
 		region string
 		column int
 	}{
-		{"magic", int64(len(orig) - 1), RegionMagic, -1},
+		// The flip hits the first magic byte: flipping the last one would turn
+		// the version digit '3' into '2' — a still-accepted older version.
+		{"magic", int64(len(orig) - len(segMagic)), RegionMagic, -1},
 		{"footer-rows", 0, RegionFooter, -1}, // offset computed below
 		{"zone-map", footerZoneOffset(orig), RegionFooter, -1},
 		{"null-bitmap", blockFlip(&sm.cols[0], 4), RegionBlock, 0}, // repr+kind+uvarint(n)+uvarint(nn) → bitmap
@@ -179,6 +181,98 @@ func TestCorruptionMatrix(t *testing.T) {
 		})
 	}
 	// With the original bytes restored, everything scrubs clean again.
+	if found, err := ScrubDir(dir); err != nil || len(found) != 0 {
+		t.Fatalf("restored directory should scrub clean: %v %v", found, err)
+	}
+}
+
+// TestCorruptionMatrixEncoded extends the byte-flip matrix to the compressed
+// block representations: a dictionary-encoded string column and a run-length
+// encoded int column, each flipped both near the block header (dictionary
+// entries / run headers) and at the block tail (codes / last run). Scrub must
+// localize every flip to (RegionBlock, exact column) on the exact segment.
+func TestCorruptionMatrixEncoded(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 64})
+	def := &catalog.Table{Name: "ce", Cols: []catalog.Column{
+		{Name: "d", Kind: datum.KindString}, // 4 values alternating → dict
+		{Name: "r", Kind: datum.KindInt},    // constant → one run
+	}}
+	tab, err := s.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := []string{"ogdenville", "north-haverbrook", "shelbyville", "capital-city"}
+	rows := make([]datum.Row, 192) // 3 segments of 64
+	for i := range rows {
+		rows[i] = datum.Row{datum.NewString(cities[i%len(cities)]), datum.NewInt(7)}
+	}
+	if err := tab.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	const victim = 1
+	path := filepath.Join(dir, "ce", segFileName(0, victim))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := decodeFooter(orig, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.cols[0].repr != reprDict || sm.cols[1].repr != reprRLE {
+		t.Fatalf("reprs = %d,%d, want dict,rle", sm.cols[0].repr, sm.cols[1].repr)
+	}
+	cases := []struct {
+		name   string
+		offset int64
+		column int
+	}{
+		// +4 lands just past repr+kind+uvarint(n)+uvarint(numNulls): the
+		// dictionary entry table / the first run header.
+		{"dict-block-header", sm.cols[0].off + 4, 0},
+		{"dict-block-codes", sm.cols[0].off + sm.cols[0].blockLen - 1, 0},
+		{"run-block-header", sm.cols[1].off + 4, 1},
+		{"run-block-tail", sm.cols[1].off + sm.cols[1].blockLen - 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := append([]byte(nil), orig...)
+			mut[tc.offset] ^= 0x01
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := os.WriteFile(path, orig, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			found, err := ScrubDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(found) != 1 {
+				t.Fatalf("scrub found %d corruptions, want exactly 1: %v", len(found), found)
+			}
+			ce := found[0]
+			if ce.Table != "ce" || ce.Segment != victim || ce.Region != RegionBlock || ce.Column != tc.column {
+				t.Fatalf("corruption located at (%s, seg %d, %s, col %d), want (ce, %d, %s, col %d)",
+					ce.Table, ce.Segment, ce.Region, ce.Column, victim, RegionBlock, tc.column)
+			}
+			// Neighbors still serve; the damaged segment refuses reads.
+			s2 := NewStoreWith(StoreConfig{Dir: dir, SegmentRows: 64})
+			tab2, err := s2.CreateTable(def)
+			if err != nil {
+				t.Fatalf("open with damaged segment: %v", err)
+			}
+			if got, err := tab2.RowsRange(nil, 0, 64); err != nil || len(got) != 64 {
+				t.Fatalf("segment 0 should serve: rows=%d err=%v", len(got), err)
+			}
+			if _, err := tab2.RowsRange(nil, 64, 128); err == nil {
+				t.Fatal("reading the damaged segment should fail")
+			}
+		})
+	}
 	if found, err := ScrubDir(dir); err != nil || len(found) != 0 {
 		t.Fatalf("restored directory should scrub clean: %v %v", found, err)
 	}

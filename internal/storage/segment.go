@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/datum"
@@ -30,10 +31,17 @@ import (
 )
 
 // segMagic trails every segment file; it doubles as a format version tag.
-// Version 2 adds CRC32C integrity: one checksum per column block and one over
-// the footer, both verified on decode. Version-1 files fail the magic check
-// and are quarantined at recovery rather than trusted.
-const segMagic = "QOPTSEG2"
+// Version 2 added CRC32C integrity: one checksum per column block and one
+// over the footer, both verified on decode. Version 3 adds compressed block
+// representations (dictionary and run-length). New segments are written as
+// version 3; version-2 files decode unchanged (they simply never contain the
+// new reprs), so stores sealed before the upgrade keep serving without a
+// rewrite. Version-1 files fail the magic check and are quarantined at
+// recovery rather than trusted.
+const segMagic = "QOPTSEG3"
+
+// segMagicV2 is the previous format version, still accepted on read.
+const segMagicV2 = "QOPTSEG2"
 
 // crcTable is the Castagnoli polynomial shared by every storage checksum
 // (column blocks, footers, whole files in the manifest, manifest records) —
@@ -49,6 +57,24 @@ const sketchBytes = 32
 const (
 	reprTyped byte = 0 // typed payload + NULL bitmap
 	reprBoxed byte = 1 // per-datum kind byte + payload (mixed-kind columns)
+	reprDict  byte = 2 // sorted string dictionary + per-row codes (low-NDV strings)
+	reprRLE   byte = 3 // run-length: (length, value) pairs for long constant runs
+)
+
+// dictMaxSize is the hard cap on dictionary entries: a string column whose
+// exact distinct count (per segment) is at most this many values is
+// dictionary-encoded; one more value and it stays plain. The footer sketch
+// only pre-filters — the exact count decides, so the threshold is
+// deterministic regardless of sketch collisions.
+const dictMaxSize = 256
+
+// rleMinRows / rleMaxRunRatio gate run-length encoding: the column must have
+// at least rleMinRows rows and average at least rleMaxRunRatio rows per run
+// (runs ≤ n/rleMaxRunRatio). Short segments and high-churn columns stay in
+// the plain representation, which decodes with one bulk copy.
+const (
+	rleMinRows     = 64
+	rleMaxRunRatio = 8
 )
 
 // ScanCtx threads fault injection and real-I/O accounting from the executor
@@ -64,6 +90,12 @@ type ScanCtx struct {
 	// blocks served from the decoded-column cache add nothing, which is what
 	// makes cold-vs-warm benchmarks honest.
 	BytesRead int64
+	// BlocksDict / BlocksRLE / BlocksPlain count cold column-block reads by
+	// representation (cache hits add nothing, same as BytesRead), so EXPLAIN
+	// ANALYZE can report how much of a scan ran over encoded data.
+	BlocksDict  int64
+	BlocksRLE   int64
+	BlocksPlain int64
 }
 
 func (sc *ScanCtx) check(op string) error {
@@ -76,6 +108,20 @@ func (sc *ScanCtx) check(op string) error {
 func (sc *ScanCtx) addBytes(n int64) {
 	if sc != nil {
 		sc.BytesRead += n
+	}
+}
+
+func (sc *ScanCtx) addBlock(repr byte) {
+	if sc == nil {
+		return
+	}
+	switch repr {
+	case reprDict:
+		sc.BlocksDict++
+	case reprRLE:
+		sc.BlocksRLE++
+	default:
+		sc.BlocksPlain++
 	}
 }
 
@@ -220,26 +266,107 @@ func decodeD(r *byteReader) (datum.D, error) {
 
 // --- column block encode/decode ---
 
-// encodeColumn appends v's column block to buf and returns its footer entry
-// (offset/length filled in by the caller's bookkeeping).
-func encodeColumn(buf *bytes.Buffer, v *datum.Vec) colMeta {
+// sameExact reports whether two datums are the same stored value, down to
+// the float bit pattern (so -0.0 and 0.0, or distinct NaN payloads, never
+// merge into one run — RLE round-trips must be bit-exact).
+func sameExact(a, b datum.D) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case datum.KindNull:
+		return true
+	case datum.KindBool:
+		return a.Bool() == b.Bool()
+	case datum.KindInt:
+		return a.Int() == b.Int()
+	case datum.KindFloat:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case datum.KindString:
+		return a.Str() == b.Str()
+	}
+	return false
+}
+
+// strAt reads the string value of row i from a plain or dictionary-encoded
+// string vector. Row i must be non-NULL.
+func strAt(v *datum.Vec, i int) string {
+	if v.Dict != nil {
+		return v.Dict.Vals[v.Ints[i]]
+	}
+	return v.Strs[i]
+}
+
+// rleRuns counts the constant runs of v, giving up (ok=false) as soon as the
+// count proves run-length encoding unprofitable: fewer than rleMinRows rows,
+// or more than one run per rleMaxRunRatio rows.
+func rleRuns(v *datum.Vec) (int, bool) {
+	n := v.Len()
+	if n < rleMinRows || v.Kind() == datum.KindNull {
+		return 0, false
+	}
+	maxRuns := n / rleMaxRunRatio
+	runs := 1
+	prev := v.D(0)
+	for i := 1; i < n; i++ {
+		d := v.D(i)
+		if !sameExact(d, prev) {
+			runs++
+			if runs > maxRuns {
+				return 0, false
+			}
+			prev = d
+		}
+	}
+	return runs, true
+}
+
+// buildDict collects the exact distinct non-NULL strings of v into a sorted
+// dictionary plus per-row codes (NULL rows code 0). ok=false when the column
+// exceeds dictMaxSize distinct values or has no non-NULL value at all (the
+// plain representation already encodes an all-NULL column as just a bitmap).
+func buildDict(v *datum.Vec) (*datum.StrDict, []int64, bool) {
+	n := v.Len()
+	seen := make(map[string]struct{}, dictMaxSize+1)
+	for i := 0; i < n; i++ {
+		if v.Null(i) {
+			continue
+		}
+		s := strAt(v, i)
+		if _, ok := seen[s]; !ok {
+			if len(seen) >= dictMaxSize {
+				return nil, nil, false
+			}
+			seen[s] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil, nil, false
+	}
+	vals := make([]string, 0, len(seen))
+	for s := range seen {
+		vals = append(vals, s)
+	}
+	sort.Strings(vals)
+	dict := &datum.StrDict{Vals: vals}
+	codes := make([]int64, n)
+	for i := 0; i < n; i++ {
+		if v.Null(i) {
+			continue
+		}
+		code, _ := dict.Code(strAt(v, i))
+		codes[i] = code
+	}
+	return dict, codes, true
+}
+
+// writeNulls appends the uvarint NULL count and, when non-zero, the packed
+// bitmap words — the header shared by the typed, dict and RLE layouts
+// (RLE stores NULLs inline in its runs instead and passes an empty bitmap
+// through the count only).
+func writeNulls(buf *bytes.Buffer, v *datum.Vec) {
 	var tmp [binary.MaxVarintLen64]byte
 	n := v.Len()
-	cm := colMeta{kind: v.Kind()}
-	if v.Boxed() {
-		cm.repr = reprBoxed
-		buf.WriteByte(reprBoxed)
-		buf.WriteByte(0)
-		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(n))])
-		for i := 0; i < n; i++ {
-			appendD(buf, v.D(i))
-		}
-		return cm
-	}
-	cm.repr = reprTyped
-	buf.WriteByte(reprTyped)
-	buf.WriteByte(byte(v.Kind()))
-	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(n))])
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(v.NumNulls()))])
 	if v.NumNulls() > 0 {
 		words := (n + 63) / 64
@@ -253,6 +380,48 @@ func encodeColumn(buf *bytes.Buffer, v *datum.Vec) colMeta {
 			buf.Write(tmp[:8])
 		}
 	}
+}
+
+// encodeColumn appends v's column block to buf in the representation picked
+// at seal time, recording the choice in cm.repr. Boxed columns always encode
+// per-datum. With compression enabled, run-length wins when the column is
+// long constant runs (any kind — the shape SortBy produces), then a sorted
+// dictionary for low-NDV string columns; cm's distinct sketch (already
+// computed by the caller) pre-filters obviously high-cardinality columns so
+// only plausible ones pay the exact distinct count. Plain typed layout is
+// the universal fallback.
+func encodeColumn(buf *bytes.Buffer, v *datum.Vec, cm *colMeta, compress bool) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := v.Len()
+	if v.Boxed() {
+		cm.repr = reprBoxed
+		buf.WriteByte(reprBoxed)
+		buf.WriteByte(0)
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(n))])
+		for i := 0; i < n; i++ {
+			appendD(buf, v.D(i))
+		}
+		return
+	}
+	if compress {
+		if runs, ok := rleRuns(v); ok {
+			cm.repr = reprRLE
+			encodeRLE(buf, v, runs)
+			return
+		}
+		if v.Kind() == datum.KindString && sketchDistinct(cm.sketch, float64(n)) <= 2*dictMaxSize {
+			if dict, codes, ok := buildDict(v); ok {
+				cm.repr = reprDict
+				encodeDict(buf, v, dict, codes)
+				return
+			}
+		}
+	}
+	cm.repr = reprTyped
+	buf.WriteByte(reprTyped)
+	buf.WriteByte(byte(v.Kind()))
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(n))])
+	writeNulls(buf, v)
 	switch v.Kind() {
 	case datum.KindInt, datum.KindBool:
 		for _, x := range v.Ints {
@@ -264,14 +433,62 @@ func encodeColumn(buf *bytes.Buffer, v *datum.Vec) colMeta {
 			buf.Write(tmp[:8])
 		}
 	case datum.KindString:
-		for _, s := range v.Strs {
+		for i := 0; i < n; i++ {
+			var s string
+			if v.Dict == nil {
+				s = v.Strs[i]
+			} else if !v.Null(i) {
+				s = strAt(v, i) // NULL slots re-encode as ""
+			}
 			buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s)))])
 			buf.WriteString(s)
 		}
 	case datum.KindNull:
 		// all-NULL column: the bitmap already says everything
 	}
-	return cm
+}
+
+// encodeDict writes a dictionary block: NULL header, the sorted dictionary
+// (uvarint count, then uvarint-length strings), then one uvarint code per
+// row. NULL rows carry code 0 so decode never reads an out-of-range slot.
+func encodeDict(buf *bytes.Buffer, v *datum.Vec, dict *datum.StrDict, codes []int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.WriteByte(reprDict)
+	buf.WriteByte(byte(datum.KindString))
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(codes)))])
+	writeNulls(buf, v)
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(dict.Vals)))])
+	for _, s := range dict.Vals {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s)))])
+		buf.WriteString(s)
+	}
+	for _, c := range codes {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(c))])
+	}
+}
+
+// encodeRLE writes a run-length block: row and NULL counts, the run count,
+// then (uvarint run length, spill-convention datum) per run — NULL runs
+// encode as the NULL kind byte with no payload.
+func encodeRLE(buf *bytes.Buffer, v *datum.Vec, runs int) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := v.Len()
+	buf.WriteByte(reprRLE)
+	buf.WriteByte(byte(v.Kind()))
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(n))])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(v.NumNulls()))])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(runs))])
+	i := 0
+	for i < n {
+		d := v.D(i)
+		j := i + 1
+		for j < n && sameExact(v.D(j), d) {
+			j++
+		}
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(j-i))])
+		appendD(buf, d)
+		i = j
+	}
 }
 
 // decodeColumn rebuilds a column block into a Vec. rows is the segment's row
@@ -302,6 +519,12 @@ func decodeColumn(block []byte, rows int) (*datum.Vec, error) {
 			}
 		}
 		return datum.NewBoxedVec(ds), nil
+	}
+	if repr == reprDict {
+		return decodeDict(r, datum.Kind(kb), n)
+	}
+	if repr == reprRLE {
+		return decodeRLE(r, datum.Kind(kb), n)
 	}
 	kind := datum.Kind(kb)
 	nn, err := r.uvarint()
@@ -358,6 +581,131 @@ func decodeColumn(block []byte, rows int) (*datum.Vec, error) {
 		return datum.NewTypedVec(datum.KindNull, n, nil, nil, nil, nulls, numNulls), nil
 	}
 	return nil, fmt.Errorf("storage: unknown column kind byte %d", kb)
+}
+
+// decodeNulls reads the uvarint NULL count and bitmap written by writeNulls.
+func decodeNulls(r *byteReader, n int) (datum.Bitmap, int, error) {
+	nn, err := r.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	numNulls := int(nn)
+	if numNulls > n {
+		return nil, 0, fmt.Errorf("storage: %d NULLs in a %d-row block", numNulls, n)
+	}
+	var nulls datum.Bitmap
+	if numNulls > 0 {
+		words := (n + 63) / 64
+		nulls = make(datum.Bitmap, words)
+		for w := 0; w < words; w++ {
+			b, err := r.take(8)
+			if err != nil {
+				return nil, 0, err
+			}
+			nulls[w] = binary.LittleEndian.Uint64(b)
+		}
+	}
+	return nulls, numNulls, nil
+}
+
+// decodeDict rebuilds a dictionary block into a dictionary-encoded Vec —
+// the codes stay encoded all the way into the executor; only kernels that
+// need the strings consult the dictionary. The sort order and code range are
+// validated so a block that passes its CRC but was written wrong still
+// surfaces as corruption, not as silent misreads.
+func decodeDict(r *byteReader, kind datum.Kind, n int) (*datum.Vec, error) {
+	if kind != datum.KindString {
+		return nil, fmt.Errorf("storage: dictionary block with non-string kind byte %d", kind)
+	}
+	nulls, numNulls, err := decodeNulls(r, n)
+	if err != nil {
+		return nil, err
+	}
+	dl, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	dictLen := int(dl)
+	if dictLen <= 0 || dictLen > n {
+		return nil, fmt.Errorf("storage: dictionary with %d entries in a %d-row block", dictLen, n)
+	}
+	vals := make([]string, dictLen)
+	for i := range vals {
+		ln, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = string(b)
+		if i > 0 && vals[i] <= vals[i-1] {
+			return nil, fmt.Errorf("storage: dictionary entry %d out of order", i)
+		}
+	}
+	codes := make([]int64, n)
+	for i := range codes {
+		c, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if c >= uint64(dictLen) {
+			return nil, fmt.Errorf("storage: row %d code %d exceeds dictionary of %d", i, c, dictLen)
+		}
+		codes[i] = int64(c)
+	}
+	return datum.NewDictVec(n, codes, &datum.StrDict{Vals: vals}, nulls, numNulls), nil
+}
+
+// decodeRLE expands a run-length block to the plain typed representation
+// (run values share storage, so the expansion is cheap); the decoded vector
+// is what the column cache holds, trading RLE's bytes-on-disk win for plain
+// kernel speed in memory.
+func decodeRLE(r *byteReader, kind datum.Kind, n int) (*datum.Vec, error) {
+	nn, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	numNulls := int(nn)
+	ru, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	runs := int(ru)
+	if runs <= 0 || runs > n {
+		return nil, fmt.Errorf("storage: %d runs in a %d-row block", runs, n)
+	}
+	v := datum.NewVec(kind, n)
+	total := 0
+	for ri := 0; ri < runs; ri++ {
+		ln, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		runLen := int(ln)
+		if runLen <= 0 || total+runLen > n {
+			return nil, fmt.Errorf("storage: run %d of length %d overflows %d-row block", ri, runLen, n)
+		}
+		d, err := decodeD(r)
+		if err != nil {
+			return nil, err
+		}
+		if !d.IsNull() && d.Kind() != kind {
+			return nil, fmt.Errorf("storage: run %d value kind %d, want %d", ri, d.Kind(), kind)
+		}
+		for i := 0; i < runLen; i++ {
+			v.AppendD(d)
+		}
+		total += runLen
+	}
+	if total != n {
+		return nil, fmt.Errorf("storage: runs cover %d of %d rows", total, n)
+	}
+	if v.NumNulls() != numNulls {
+		return nil, fmt.Errorf("storage: block declares %d NULLs, runs carry %d", numNulls, v.NumNulls())
+	}
+	return v, nil
 }
 
 // --- zone maps and distinct sketches ---
@@ -480,7 +828,10 @@ func unionSketch(a *[sketchBytes]byte, b [sketchBytes]byte) {
 // encodeSegment lays out the column blocks and footer of one segment.
 // Fault checks run on the store's injector: "segment.create" once, then
 // "segment.write" per column block, mirroring the spill path's cadence.
-func encodeSegment(vecs []*datum.Vec, faults *faultfs.Injector) ([]byte, []colMeta, error) {
+// Zone maps and distinct sketches are computed before each column encodes,
+// because the encoder uses the sketch to pick a representation; compress=
+// false (Options.DisableCompression) forces the plain layout everywhere.
+func encodeSegment(vecs []*datum.Vec, faults *faultfs.Injector, compress bool) ([]byte, []colMeta, error) {
 	if faults != nil {
 		if err := faults.Check("segment.create"); err != nil {
 			return nil, nil, err
@@ -494,12 +845,13 @@ func encodeSegment(vecs []*datum.Vec, faults *faultfs.Injector) ([]byte, []colMe
 				return nil, nil, err
 			}
 		}
+		cm := colMeta{kind: v.Kind()}
+		cm.nullCount, cm.hasZone, cm.min, cm.max, cm.sketch = zoneOf(v)
 		off := int64(buf.Len())
-		cm := encodeColumn(&buf, v)
+		encodeColumn(&buf, v, &cm, compress)
 		cm.off = off
 		cm.blockLen = int64(buf.Len()) - off
 		cm.crc = crc32.Checksum(buf.Bytes()[off:], crcTable)
-		cm.nullCount, cm.hasZone, cm.min, cm.max, cm.sketch = zoneOf(v)
 		metas[ci] = cm
 	}
 	// Footer: rows, ncols, then one entry per column. The trailer after the
@@ -574,7 +926,7 @@ func decodeFooter(raw []byte, path string) (segMeta, error) {
 	if len(raw) < tail {
 		return bad(RegionFile, 0, "file is %d bytes, shorter than the %d-byte trailer", len(raw), tail)
 	}
-	if got := string(raw[len(raw)-len(segMagic):]); got != segMagic {
+	if got := string(raw[len(raw)-len(segMagic):]); got != segMagic && got != segMagicV2 {
 		return bad(RegionMagic, int64(len(raw)-len(segMagic)), "magic %q, want %q", got, segMagic)
 	}
 	footerCRC := binary.LittleEndian.Uint32(raw[len(raw)-tail : len(raw)-tail+4])
@@ -694,6 +1046,7 @@ func readColumnBlock(sc *ScanCtx, path string, sm *segMeta, ord int, table strin
 	if err != nil {
 		return nil, blockErr("block decode: %v", err)
 	}
+	sc.addBlock(cm.repr)
 	return v, nil
 }
 

@@ -67,6 +67,36 @@ type segTable struct {
 	segs       []segMeta
 	sealedRows int
 	diskBytes  int64
+	// dicts interns decoded string dictionaries by content, so segments that
+	// sealed the same value set share one *StrDict pointer — which is what
+	// lets a multi-segment scan keep appending codes instead of materializing
+	// at every segment boundary (Vec.AppendRange's same-dict fast path is
+	// pointer identity). Guarded by its own mutex because column reads hold
+	// only the table's read lock.
+	dictMu sync.Mutex
+	dicts  map[string]*datum.StrDict
+}
+
+// internDict returns the canonical *StrDict for d's contents, registering d
+// as canonical on first sight. Codes need no translation: equal contents
+// sort identically, so equal dictionaries assign equal codes.
+func (st *segTable) internDict(d *datum.StrDict) *datum.StrDict {
+	var sb strings.Builder
+	for _, s := range d.Vals {
+		fmt.Fprintf(&sb, "%d:", len(s))
+		sb.WriteString(s)
+	}
+	key := sb.String()
+	st.dictMu.Lock()
+	defer st.dictMu.Unlock()
+	if st.dicts == nil {
+		st.dicts = make(map[string]*datum.StrDict)
+	}
+	if e, ok := st.dicts[key]; ok {
+		return e
+	}
+	st.dicts[key] = d
+	return d
 }
 
 // NewTable creates empty in-memory storage for a catalog table.
@@ -160,6 +190,11 @@ func (t *Table) faults() *faultfs.Injector {
 	return t.store.cfg.Faults
 }
 
+// compress reports whether seal-time block compression is enabled (nil-safe).
+func (t *Table) compress() bool {
+	return t.store == nil || !t.store.cfg.DisableCompression
+}
+
 // retryIO applies the store's transient-fault retry policy (nil-safe).
 func (t *Table) retryIO(f func() error) error {
 	if t.store == nil {
@@ -178,7 +213,7 @@ func (t *Table) encodeChunk(rows []datum.Row, gen, id, startRow int) (pendingSeg
 		v.AppendRowsCol(rows, ci)
 		vecs[ci] = v
 	}
-	raw, metas, err := encodeSegment(vecs, t.faults())
+	raw, metas, err := encodeSegment(vecs, t.faults(), t.compress())
 	if err != nil {
 		return pendingSeg{}, err
 	}
@@ -306,10 +341,45 @@ func (t *Table) readColumnLocked(sc *ScanCtx, si, ord int) (*datum.Vec, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Budget by encoded size plus fixed per-row overhead — close enough for
-	// an eviction heuristic.
-	t.cache().put(key, v, sm.cols[ord].blockLen+int64(8*sm.rows))
+	if v.Dict != nil {
+		v.Dict = t.seg.internDict(v.Dict)
+	}
+	t.cache().put(key, v, vecCacheBytes(v))
 	return v, nil
+}
+
+// vecCacheBytes is the cache charge of a decoded column vector: the actual
+// heap payload it pins, so the cache budget is honest for string-heavy
+// tables (a string column charges the sum of its string lengths plus a
+// header per slot, not the encoded block length). Dictionary columns charge
+// 8 bytes per code plus the dictionary payload — the compression win shows
+// up as more columns fitting in the same budget. RLE columns are cached
+// expanded, and charge the expanded size.
+func vecCacheBytes(v *datum.Vec) int64 {
+	n := int64(v.Len())
+	var b int64
+	switch {
+	case v.Boxed():
+		for i := 0; i < v.Len(); i++ {
+			b += int64(v.D(i).Size())
+		}
+		b += 16 * n // slot overhead of the []D backing
+	case v.Dict != nil:
+		b = 8*n + v.Dict.Bytes()
+	default:
+		switch v.Kind() {
+		case datum.KindInt, datum.KindBool, datum.KindFloat:
+			b = 8 * n
+		case datum.KindString:
+			for _, s := range v.Strs {
+				b += int64(16 + len(s))
+			}
+		}
+	}
+	if v.NumNulls() > 0 {
+		b += (n + 63) / 64 * 8
+	}
+	return b
 }
 
 // segIndexLocked returns the index of the segment containing row id (which
@@ -586,6 +656,9 @@ func (t *Table) rewriteLocked(all []datum.Row) error {
 		oldFiles = append(oldFiles, t.segPath(sm.id))
 	}
 	t.cache().dropTable(t)
+	t.seg.dictMu.Lock()
+	t.seg.dicts = nil
+	t.seg.dictMu.Unlock()
 	t.seg.gen = newGen
 	t.seg.segs = t.seg.segs[:0]
 	t.seg.sealedRows = 0
@@ -881,6 +954,11 @@ type StoreConfig struct {
 	// benchmark A/B arm for measuring checksum overhead, and an escape
 	// hatch for salvage reads. Writes still record checksums.
 	DisableChecksums bool
+	// DisableCompression forces every column block to the plain layout at
+	// seal time — the benchmark A/B arm for measuring what dictionary and
+	// run-length encoding buy. Reads are unaffected: compressed blocks
+	// written earlier still decode.
+	DisableCompression bool
 }
 
 // Store maps table names to stored tables.

@@ -195,6 +195,11 @@ type Options struct {
 	// control arm for measuring verification overhead and an escape hatch
 	// for salvaging data from a damaged directory.
 	DisableChecksums bool
+	// DisableCompression seals every new segment with plain column blocks,
+	// skipping the dictionary and run-length encoders — the A/B control arm
+	// of the compression benchmarks. Seal-time only: already-sealed
+	// compressed segments still read fine either way.
+	DisableCompression bool
 }
 
 // VectorizeMode selects between the columnar batch path and pure row
@@ -310,7 +315,8 @@ func New(opts Options) *Engine {
 			CacheBytes:       opts.SegmentCacheBytes,
 			IORetries:        opts.IORetries,
 			IORetryBackoff:   opts.IORetryBackoff,
-			DisableChecksums: opts.DisableChecksums,
+			DisableChecksums:   opts.DisableChecksums,
+			DisableCompression: opts.DisableCompression,
 		}),
 		feedback: physical.NewFeedbackRing(opts.FeedbackCapacity),
 		replan:   make(map[string]struct{}),
@@ -426,6 +432,12 @@ type ExecStats struct {
 	SegmentsRead   int64
 	SegmentsPruned int64
 	BytesRead      int64
+	// BlocksDict / BlocksRLE / BlocksPlain count column blocks decoded from
+	// disk by representation (dictionary, run-length, plain typed/boxed).
+	// Cache hits add nothing, same as BytesRead.
+	BlocksDict  int64
+	BlocksRLE   int64
+	BlocksPlain int64
 }
 
 // RegisterPredicate registers a user-defined predicate callable from SQL
@@ -952,6 +964,9 @@ func (e *Engine) finish(q *logical.Query, plan physical.Plan, res *exec.Result, 
 			SegmentsRead:   ctx.Counters.SegmentsRead,
 			SegmentsPruned: ctx.Counters.SegmentsPruned,
 			BytesRead:      ctx.Counters.BytesRead,
+			BlocksDict:     ctx.Counters.BlocksDict,
+			BlocksRLE:      ctx.Counters.BlocksRLE,
+			BlocksPlain:    ctx.Counters.BlocksPlain,
 		},
 	}
 	if plan != nil {
